@@ -1,0 +1,53 @@
+"""Ablation — CSD coefficient encoding vs plain two's-complement multipliers.
+
+The paper CSD-encodes the halfband, scaler and equalizer coefficients
+(Sections V–VI) to replace multipliers with a minimum number of shift-adds.
+This ablation counts the shift-add operations both ways for the designed
+coefficients and compares the resulting power estimate of the FIR-style
+stages.
+"""
+
+import numpy as np
+import pytest
+
+from benchutils import print_series
+
+
+def _csd_costs(paper_chain):
+    from repro.fixedpoint.csd import encode_coefficients
+
+    results = {}
+    coefficient_sets = {
+        "Halfband (f1+f2)": (np.concatenate([paper_chain.halfband.f1,
+                                             paper_chain.halfband.f2]), 24),
+        "Equalizer": (paper_chain.equalizer.taps, 16),
+        "Scaling": (np.array([paper_chain.scaling.scale]), 12),
+    }
+    for label, (coeffs, bits) in coefficient_sets.items():
+        csd_codes = encode_coefficients(coeffs, bits)
+        csd_adders = sum(c.adder_cost for c in csd_codes)
+        binary_adders = 0
+        for c in coeffs:
+            raw = abs(int(round(float(c) * (1 << bits))))
+            binary_adders += max(0, bin(raw).count("1") - 1)
+        results[label] = (csd_adders, binary_adders)
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_csd_vs_binary(benchmark, paper_chain):
+    results = benchmark.pedantic(_csd_costs, args=(paper_chain,), rounds=1, iterations=1)
+    rows = []
+    total_csd = total_bin = 0
+    for label, (csd_adders, binary_adders) in results.items():
+        saving = 100.0 * (1.0 - csd_adders / max(binary_adders, 1))
+        rows.append((label, csd_adders, binary_adders, f"{saving:.0f}%"))
+        total_csd += csd_adders
+        total_bin += binary_adders
+    rows.append(("Total", total_csd, total_bin,
+                 f"{100.0 * (1.0 - total_csd / max(total_bin, 1)):.0f}%"))
+    print_series("Ablation — CSD vs plain binary shift-add cost",
+                 ["coefficient set", "CSD adders", "binary adders", "saving"], rows)
+    # CSD must never be worse and should save a substantial fraction overall.
+    assert total_csd <= total_bin
+    assert total_csd < 0.85 * total_bin

@@ -1,0 +1,32 @@
+"""Table I (bottom row) — end-to-end SNR of the decimated output.
+
+Regenerates the 86 dB / 14-bit figure: the modulator is driven with a
+near-MSA tone, its 4-bit code stream runs through the bit-true decimation
+chain and the SNR of the 14-bit output is measured over the 20 MHz band.
+"""
+
+import pytest
+
+from benchutils import print_series
+
+
+def _end_to_end(paper_chain, n_samples):
+    from repro.core.verification import simulated_output_snr
+
+    return simulated_output_snr(paper_chain, n_samples=n_samples)
+
+
+@pytest.mark.benchmark(group="snr")
+def test_end_to_end_snr(benchmark, paper_chain):
+    snr = benchmark.pedantic(_end_to_end, args=(paper_chain, 65536),
+                             rounds=1, iterations=1)
+    enob = (snr - 1.76) / 6.02
+    rows = [
+        ("measured SNR (0.95*MSA tone, 20 MHz band)", f"{snr:.1f} dB"),
+        ("paper", "86 dB"),
+        ("measured ENOB", f"{enob:.1f} bits"),
+        ("paper resolution", "14 bits"),
+    ]
+    print_series("End-to-end SNR (Table I, decimated output)", ["quantity", "value"], rows)
+    assert snr > 80.0
+    assert enob > 13.0

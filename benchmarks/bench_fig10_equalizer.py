@@ -1,0 +1,48 @@
+"""Figure 10 — droop, equalizer response and compensated passband.
+
+Regenerates the three curves of Fig. 10: the drooped response of the Sinc +
+halfband stages over the signal band, the 64th-order FIR equalizer response,
+and the compensated response whose residual ripple the paper quotes as
+< 0.5 dB.
+"""
+
+import numpy as np
+import pytest
+
+from benchutils import print_series
+
+
+def _fig10(paper_chain):
+    from repro.filters import compensated_response, residual_ripple_db
+
+    freqs = np.linspace(0.0, 20e6, 512)
+    droop = paper_chain.droop_response(freqs)
+    equalizer = paper_chain.equalizer
+    eq_resp = equalizer.response(freqs)
+    comp = compensated_response(droop, equalizer, freqs)
+    ripple95 = residual_ripple_db(droop, equalizer, 20e6, fraction=0.95)
+    ripple98 = residual_ripple_db(droop, equalizer, 20e6, fraction=0.98)
+    return freqs, droop, eq_resp, comp, ripple95, ripple98
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_equalizer(benchmark, paper_chain):
+    freqs, droop, eq_resp, comp, ripple95, ripple98 = benchmark.pedantic(
+        _fig10, args=(paper_chain,), rounds=1, iterations=1)
+    picks = [1e6, 5e6, 10e6, 15e6, 18e6, 19e6, 20e6]
+    rows = []
+    for f in picks:
+        idx = int(np.argmin(np.abs(freqs - f)))
+        rows.append((f"{f/1e6:.0f} MHz",
+                     f"{droop.magnitude_db[idx] - droop.magnitude_db[0]:.2f}",
+                     f"{eq_resp.magnitude_db[idx]:.2f}",
+                     f"{comp.magnitude_db[idx] - comp.magnitude_db[0]:.2f}"))
+    rows.append(("equalizer order", paper_chain.equalizer.order, "", ""))
+    rows.append(("residual ripple (95% band)",
+                 f"{ripple95:.2f} dB (paper: <0.5 dB)", "", ""))
+    rows.append(("residual ripple (98% band)", f"{ripple98:.2f} dB", "", ""))
+    print_series("Figure 10 — droop, equalizer and compensated responses",
+                 ["frequency", "uncompensated (dB)", "equalizer (dB)",
+                  "compensated (dB)"], rows)
+    assert ripple95 < 0.5
+    assert paper_chain.equalizer.order == 64

@@ -1,0 +1,38 @@
+"""Figure 11 — cascaded decimation filter response with quantized coefficients.
+
+Regenerates the overall chain response (CSD-quantized coefficients) from DC
+to the 320 MHz input Nyquist frequency plus the passband inset, and checks
+the Table I mask figures the paper reads off this plot.
+"""
+
+import numpy as np
+import pytest
+
+from benchutils import print_series
+
+
+def _fig11(paper_chain):
+    response = paper_chain.overall_response(n_points=16384)
+    passband = paper_chain.overall_response(np.linspace(0.0, 20e6, 1024))
+    ripple = passband.passband_ripple_db(19e6)
+    first_alias = response.stopband_attenuation_db(23e6, 57e6)
+    return response, passband, ripple, first_alias
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_cascaded_response(benchmark, paper_chain):
+    response, passband, ripple, first_alias = benchmark.pedantic(
+        _fig11, args=(paper_chain,), rounds=1, iterations=1)
+    picks = [10e6, 20e6, 23e6, 30e6, 40e6, 60e6, 80e6, 120e6, 160e6, 240e6, 320e6]
+    rows = []
+    for f in picks:
+        idx = int(np.argmin(np.abs(response.frequencies_hz - f)))
+        rows.append((f"{f/1e6:.0f} MHz", f"{response.magnitude_db[idx]:.1f} dB"))
+    rows.append(("passband ripple (inset, 0-19 MHz)",
+                 f"{ripple:.2f} dB (spec: <1 dB)"))
+    rows.append(("first alias band attenuation (23-57 MHz)",
+                 f"{first_alias:.1f} dB (spec: >85 dB)"))
+    print_series("Figure 11 — cascaded decimation filter response "
+                 "(quantized coefficients)", ["frequency / quantity", "value"], rows)
+    assert ripple < 1.0
+    assert first_alias > 85.0

@@ -1,0 +1,45 @@
+"""Figure 9 — frequency response of the designed Saramäki halfband filter.
+
+Regenerates the Fig. 9 curve: the 110th-order tapped-cascade halfband's
+response at the 80 MHz stage input rate, its stopband attenuation (paper:
+>90 dB against an 85 dB requirement) and its adder count (paper: 124
+adders, no true multiplications).
+"""
+
+import numpy as np
+import pytest
+
+from benchutils import print_series
+
+
+def _fig9(paper_chain):
+    hbf = paper_chain.halfband
+    rate = paper_chain.halfband_input_rate_hz
+    freqs = np.linspace(0.0, rate / 2.0, 4096)
+    response = hbf.frequency_response(rate, freqs)
+    attenuation = hbf.metadata["achieved_attenuation_db"]
+    adders = hbf.adder_count(paper_chain.options.halfband_coefficient_bits)
+    ripple = hbf.passband_ripple_db(hbf.metadata["transition_start"])
+    return freqs, response, attenuation, adders, ripple
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_halfband_response(benchmark, paper_chain):
+    freqs, response, attenuation, adders, ripple = benchmark.pedantic(
+        _fig9, args=(paper_chain,), rounds=1, iterations=1)
+    picks = [5e6, 10e6, 15e6, 17e6, 20e6, 23e6, 25e6, 30e6, 35e6, 40e6]
+    rows = []
+    for f in picks:
+        idx = int(np.argmin(np.abs(freqs - f)))
+        mag = 20 * np.log10(max(abs(response.magnitude[idx]), 1e-30))
+        rows.append((f"{f/1e6:.0f} MHz", f"{mag:.1f} dB"))
+    rows.append(("equivalent FIR order", paper_chain.halfband.equivalent_order))
+    rows.append(("identical sub-filters", paper_chain.halfband.num_subfilters))
+    rows.append(("stopband attenuation", f"{attenuation:.1f} dB (paper: >90 dB)"))
+    rows.append(("adders (no multipliers)", f"{adders} (paper: 124)"))
+    rows.append(("passband ripple", f"{ripple:.4f} dB"))
+    print_series("Figure 9 — Saramäki halfband frequency response",
+                 ["frequency / quantity", "value"], rows)
+    assert attenuation > 85.0
+    assert paper_chain.halfband.equivalent_order == 110
+    assert adders < 300

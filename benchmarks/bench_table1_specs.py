@@ -1,0 +1,60 @@
+"""Table I — modulator performance and decimator requirements.
+
+Regenerates both columns of Table I: the modulator-side figures (order, OBG,
+bandwidth, rate, OSR, MSA, SQNR) come from the NTF synthesis and modulator
+simulation; the decimator-side figures (input bits, ripple, transition,
+attenuation, rates, SNR) come from the designed chain and its verification.
+"""
+
+import numpy as np
+import pytest
+
+from benchutils import print_series
+
+
+def _table1(paper_chain, paper_modulator):
+    from repro.core import verify_chain
+
+    spec = paper_chain.spec
+    msa = paper_modulator.estimate_msa(n_samples=4096,
+                                       amplitude_grid=np.linspace(0.7, 1.0, 13))
+    predicted_sqnr = paper_modulator.predicted_sqnr_db(0.81)
+    report = verify_chain(paper_chain)
+    checks = report.as_dict()
+    return {
+        "modulator": {
+            "Order": spec.modulator.order,
+            "OBG": round(paper_chain.spec.modulator.out_of_band_gain, 2),
+            "Bandwidth (MHz)": spec.modulator.bandwidth_hz / 1e6,
+            "Sampling rate (MHz)": spec.modulator.sample_rate_hz / 1e6,
+            "OSR": spec.modulator.osr,
+            "MSA (estimated)": msa,
+            "SQNR (dB, linear model)": round(predicted_sqnr, 1),
+        },
+        "decimator": {
+            "Input no. of bits": spec.decimator.input_bits,
+            "Passband ripple (dB)": round(
+                checks["passband ripple"]["measured"], 2),
+            "Passband transition (MHz)": f"{spec.decimator.passband_edge_hz/1e6:.0f}-"
+                                         f"{spec.decimator.stopband_edge_hz/1e6:.0f}",
+            "Stop-band attenuation (dB)": round(
+                checks["halfband stopband attenuation"]["measured"], 1),
+            "Decimated rate (MHz)": spec.decimator.output_rate_hz / 1e6,
+            "Output bits": spec.decimator.output_bits,
+            "meets spec": report.passed,
+        },
+    }
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_specifications(benchmark, paper_chain, paper_modulator):
+    table = benchmark.pedantic(_table1, args=(paper_chain, paper_modulator),
+                               rounds=1, iterations=1)
+    rows = [(k, v, "") for k, v in table["modulator"].items()]
+    rows += [("", "", "")]
+    rows += [(k, v, "") for k, v in table["decimator"].items()]
+    print_series("Table I — modulator performance and decimator requirements",
+                 ["quantity", "measured/designed", ""], rows)
+    assert table["decimator"]["meets spec"]
+    assert table["modulator"]["SQNR (dB, linear model)"] > 95.0
+    assert 0.7 <= table["modulator"]["MSA (estimated)"] <= 1.0

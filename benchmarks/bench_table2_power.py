@@ -1,0 +1,61 @@
+"""Table II and Figure 13 — power profile of the decimation filter at 1.1 V.
+
+Regenerates the per-stage dynamic and leakage power table (Table II) and the
+dynamic-power distribution pie chart (Fig. 13) using the paper's
+methodology: the bit-true chain is stimulated with a 5 MHz sine at the MSA,
+the measured switching activity drives the 45 nm standard-cell power model.
+
+Absolute milliwatts depend on the cell-model calibration (documented in
+DESIGN.md); the per-stage distribution and the totals' order of magnitude
+are the reproduced result.
+"""
+
+import pytest
+
+from benchutils import print_series
+
+#: Table II of the paper (dynamic mW, leakage uW) for side-by-side printing.
+PAPER_TABLE2 = {
+    "Sinc4 stage 1": (2.36, 19.41),
+    "Sinc4 stage 2": (1.13, 22.34),
+    "Sinc6 stage 3": (1.16, 47.26),
+    "Halfband": (1.28, 152.44),
+    "Scaling Stage": (0.38, 11.13),
+    "Equalizer": (1.73, 537.88),
+    "Total": (8.04, 771.10),
+}
+
+
+def _table2(paper_chain):
+    from repro.hardware import SynthesisFlow
+
+    report = SynthesisFlow().run(paper_chain, measure_activity=True,
+                                 activity_samples=4096)
+    return report
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_power_profile(benchmark, paper_chain):
+    report = benchmark.pedantic(_table2, args=(paper_chain,), rounds=1, iterations=1)
+    rows = []
+    for row in report.power_table():
+        label = row["Filter Stage"]
+        paper_dyn, paper_leak = PAPER_TABLE2.get(label, ("-", "-"))
+        rows.append((label, row["Dynamic Power (mW)"], paper_dyn,
+                     row["Leakage Power (uW)"], paper_leak))
+    print_series("Table II — power profile (VDD = 1.1 V)",
+                 ["stage", "dynamic mW (ours)", "dynamic mW (paper)",
+                  "leakage uW (ours)", "leakage uW (paper)"], rows)
+
+    fractions = report.power_distribution()
+    pie_rows = [(label, f"{fraction*100:.1f}%") for label, fraction in fractions.items()]
+    print_series("Figure 13 — dynamic power distribution", ["stage", "share"], pie_rows)
+
+    # Shape assertions: totals in the paper's range, scaling smallest,
+    # halfband a modest share, equalizer + first Sinc among the largest.
+    assert 5.0 < report.power.total_dynamic_mw < 12.0
+    assert 400.0 < report.power.total_leakage_uw < 1200.0
+    assert min(fractions, key=fractions.get) == "Scaling Stage"
+    assert fractions["Halfband"] < 0.25
+    top_three = sorted(fractions, key=fractions.get, reverse=True)[:3]
+    assert "Equalizer" in top_three and "Sinc4 stage 1" in top_three

@@ -1,0 +1,12 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def print_series(title, header, rows):
+    """Uniform printing of a table/series for side-by-side comparison with the paper."""
+    print()
+    print(f"=== {title} ===")
+    print(" | ".join(header))
+    for row in rows:
+        print(" | ".join(str(x) for x in row))

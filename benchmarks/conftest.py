@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper: it
+times the computation with pytest-benchmark and prints the same rows/series
+the paper reports so the numbers can be compared side by side (see
+EXPERIMENTS.md for the recorded comparison).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def paper_chain():
+    """The designed paper chain shared by all benchmarks."""
+    from repro.core import design_paper_chain
+
+    return design_paper_chain()
+
+
+@pytest.fixture(scope="session")
+def paper_modulator():
+    from repro.dsm import DeltaSigmaModulator
+
+    return DeltaSigmaModulator()
+
+
+@pytest.fixture(scope="session")
+def synthesis_report(paper_chain):
+    from repro.hardware import SynthesisFlow
+
+    return SynthesisFlow().run(paper_chain, measure_activity=True,
+                               activity_samples=4096)

@@ -1,0 +1,14 @@
+"""Pytest path bootstrap.
+
+Adds ``src/`` to ``sys.path`` so the test and benchmark suites run even when
+the package has not been installed (e.g. offline environments where
+``pip install -e .`` cannot fetch build dependencies).  When the package is
+properly installed this is a harmless no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,57 @@
+"""Retarget the library at a 24 kHz audio-codec delta-sigma ADC.
+
+The paper motivates its flow with reconfigurability: the same methodology
+that produces the 20 MHz wideband chain should produce a filter for a
+completely different standard.  This example retargets the designer at an
+audio-band spec (24 kHz bandwidth, OSR 64, 48 kS/s output, 16-bit) — the
+kind of decimator the paper cites from the audio-codec literature — and
+shows that the architecture adapts automatically: more decimate-by-2
+stages, lower Sinc orders, a longer halfband for the narrower transition
+band.
+
+Run with::
+
+    python examples/audio_codec_decimator.py
+"""
+
+import numpy as np
+
+from repro.core import ChainDesignOptions, DecimationChain, audio_chain_spec, verify_chain
+from repro.core.verification import simulated_output_snr
+from repro.hardware import SynthesisFlow
+
+
+def main() -> None:
+    spec = audio_chain_spec()
+    options = ChainDesignOptions(sinc_orders=None, equalizer_order=48)
+    chain = DecimationChain.design(spec, options)
+
+    print("Audio-codec decimation chain (24 kHz bandwidth, OSR 64)")
+    print("-" * 64)
+    for key, value in chain.summary().items():
+        print(f"  {key:<28} {value}")
+
+    print()
+    print("Verification against the audio specification")
+    print("-" * 64)
+    print(verify_chain(chain))
+
+    print()
+    print("Bit-true SNR with a 3 kHz tone")
+    print("-" * 64)
+    snr = simulated_output_snr(chain, n_samples=65536, tone_hz=3e3, amplitude=0.6)
+    print(f"  measured SNR: {snr:.1f} dB")
+
+    print()
+    print("Power/area in the same 45 nm technology")
+    print("-" * 64)
+    report = SynthesisFlow().run(chain, measure_activity=False)
+    print(report.power)
+    print(f"  Total layout area: {report.total_area_mm2:.3f} mm2")
+    print()
+    print("Note how the power collapses relative to the wideband design: the "
+          "whole chain runs at kHz–MHz clocks instead of 640 MHz.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is configured through ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` can fall back to the legacy setuptools path in
+offline environments lacking PEP 517 build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

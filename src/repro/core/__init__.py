@@ -1,0 +1,58 @@
+"""Core: the decimation-chain design methodology (the paper's contribution).
+
+* :mod:`~repro.core.spec` — the Table I specifications as dataclasses.
+* :mod:`~repro.core.chain` — the designed chain: frequency-domain model,
+  floating-point and bit-true simulators, per-stage reporting.
+* :mod:`~repro.core.designer` — the architecture-selection methodology
+  (Sinc order split, halfband transition, SNR prediction) and the sweeps
+  behind the ablation benchmarks.
+* :mod:`~repro.core.verification` — Table I mask and SNR verification.
+"""
+
+from repro.core.spec import (
+    ModulatorSpec,
+    DecimationFilterSpec,
+    ChainSpec,
+    paper_chain_spec,
+    audio_chain_spec,
+)
+from repro.core.chain import (
+    ChainDesignOptions,
+    DecimationChain,
+    StageInfo,
+    design_paper_chain,
+)
+from repro.core.designer import (
+    choose_sinc_orders,
+    evaluate_sinc_orders,
+    sweep_sinc_order_splits,
+    predicted_snr_after_decimation,
+    SincOrderEvaluation,
+)
+from repro.core.verification import (
+    CheckResult,
+    VerificationReport,
+    verify_chain,
+    simulated_output_snr,
+)
+
+__all__ = [
+    "ModulatorSpec",
+    "DecimationFilterSpec",
+    "ChainSpec",
+    "paper_chain_spec",
+    "audio_chain_spec",
+    "ChainDesignOptions",
+    "DecimationChain",
+    "StageInfo",
+    "design_paper_chain",
+    "choose_sinc_orders",
+    "evaluate_sinc_orders",
+    "sweep_sinc_order_splits",
+    "predicted_snr_after_decimation",
+    "SincOrderEvaluation",
+    "CheckResult",
+    "VerificationReport",
+    "verify_chain",
+    "simulated_output_snr",
+]

@@ -1,0 +1,403 @@
+"""The decimation filter chain: design container and simulators.
+
+This is the paper's primary contribution assembled from the substrate
+packages: the multistage chain ``Sinc4(↓2) → Sinc4(↓2) → Sinc6(↓2) →
+Halfband(↓2) → Scaling → FIR equalizer`` (Fig. 5), with
+
+* a frequency-domain model (the curves of Figs. 8–11),
+* a floating-point simulator (filter-design verification), and
+* a bit-true fixed-point simulator that consumes the modulator's 4-bit code
+  stream and produces the 14-bit output words, used for the end-to-end SNR
+  measurement and for the switching-activity power estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.spec import ChainSpec, paper_chain_spec
+from repro.filters.cascade import CascadeStageDescription, MultirateCascade
+from repro.filters.equalizer import EqualizerDesign, design_droop_equalizer
+from repro.filters.fir import FIRFilterFixedPoint
+from repro.filters.halfband import (
+    HalfbandDecimator,
+    SaramakiHalfband,
+    SaramakiHalfbandDesigner,
+)
+from repro.filters.hogenauer import HogenauerCascade, HogenauerConfig, HogenauerDecimator
+from repro.filters.response import FrequencyResponse, default_frequency_grid
+from repro.filters.scaling import ScalingStage
+from repro.filters.sinc import SincCascade, SincCascadeSpec, SincFilter
+
+
+@dataclass
+class ChainDesignOptions:
+    """Knobs of the design methodology (Section III–VI choices)."""
+
+    #: Sinc orders, first stage first.  ``None`` lets the designer choose.
+    sinc_orders: Optional[Sequence[int]] = (4, 4, 6)
+    #: Halfband tapped-cascade size (n1, n2); (3, 6) is the paper's 110th order.
+    halfband_n1: int = 3
+    halfband_n2: int = 6
+    halfband_coefficient_bits: int = 24
+    halfband_target_attenuation_db: float = 90.0
+    equalizer_order: int = 64
+    equalizer_coefficient_bits: int = 16
+    equalizer_max_boost_db: float = 10.0
+    scaling_coefficient_bits: int = 12
+    scaling_headroom: float = 0.99
+    #: Extra LSBs carried through the scaler and equalizer and rounded away
+    #: only at the final output register, so that intermediate rounding does
+    #: not erode the 14-bit output SNR (the paper's 24-bit halfband
+    #: coefficients serve the same purpose of keeping requantization noise
+    #: well below the signal-band noise floor).
+    guard_bits: int = 4
+    #: Hardware options of the Hogenauer stages.
+    retimed: bool = True
+    pipelined: bool = True
+
+
+@dataclass
+class StageInfo:
+    """Summary of one chain stage for reports, RTL generation and power."""
+
+    name: str
+    kind: str
+    input_rate_hz: float
+    output_rate_hz: float
+    decimation: int
+    input_bits: int
+    output_bits: int
+    details: dict = field(default_factory=dict)
+
+
+class DecimationChain:
+    """A fully designed decimation filter chain.
+
+    Use :meth:`design` (or :func:`design_paper_chain`) to construct one from
+    a :class:`~repro.core.spec.ChainSpec`; the instance then exposes the
+    frequency responses, the simulators and the per-stage information that
+    the hardware model, the RTL generator and the benchmarks consume.
+    """
+
+    def __init__(self, spec: ChainSpec, options: ChainDesignOptions,
+                 sinc_cascade: SincCascade, halfband: SaramakiHalfband,
+                 scaling: ScalingStage, equalizer: EqualizerDesign) -> None:
+        self.spec = spec
+        self.options = options
+        self.sinc_cascade = sinc_cascade
+        self.halfband = halfband
+        self.scaling = scaling
+        self.equalizer = equalizer
+
+        fs = spec.modulator.sample_rate_hz
+        self.halfband_input_rate_hz = fs / sinc_cascade.total_decimation
+        self.output_rate_hz = spec.decimator.output_rate_hz
+
+        # Bit-true building blocks.
+        self._hogenauer_stages = [
+            HogenauerDecimator(stage.spec, HogenauerConfig(options.retimed, options.pipelined))
+            for stage in sinc_cascade.stages
+        ]
+        self._hogenauer = HogenauerCascade(self._hogenauer_stages, rescale=False)
+        self._halfband_impl = HalfbandDecimator(
+            halfband, data_bits=sinc_cascade.output_bits,
+            coefficient_bits=options.halfband_coefficient_bits,
+        )
+        self._equalizer_impl = FIRFilterFixedPoint(
+            taps=equalizer.taps,
+            coefficient_bits=options.equalizer_coefficient_bits,
+            data_bits=spec.decimator.output_bits + 2,
+            label="Equalizer",
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def design(cls, spec: Optional[ChainSpec] = None,
+               options: Optional[ChainDesignOptions] = None) -> "DecimationChain":
+        """Design a chain for the given specification (defaults: Table I)."""
+        spec = spec or paper_chain_spec()
+        options = options or ChainDesignOptions()
+
+        total_halvings = spec.num_halving_stages
+        sinc_orders = options.sinc_orders
+        if sinc_orders is None:
+            from repro.core.designer import choose_sinc_orders
+
+            sinc_orders = choose_sinc_orders(spec)
+        n_sinc = len(sinc_orders)
+        if n_sinc + 1 != total_halvings:
+            raise ValueError(
+                f"spec requires {total_halvings} decimate-by-2 stages but "
+                f"{n_sinc} Sinc stages plus one halfband were requested"
+            )
+
+        fs = spec.modulator.sample_rate_hz
+        sinc_cascade = SincCascade(SincCascadeSpec(
+            orders=tuple(sinc_orders),
+            input_bits=spec.decimator.input_bits,
+            input_rate_hz=fs,
+        ))
+
+        halfband_input_rate = fs / sinc_cascade.total_decimation
+        # Transition: the halfband stopband must start at the image of the
+        # overall stopband edge (fs_out - stopband_edge folded), i.e. its
+        # passband edge sits at (output_rate - stopband_edge) from DC.
+        passband_edge_norm = (spec.decimator.output_rate_hz
+                              - spec.decimator.stopband_edge_hz) / halfband_input_rate
+        passband_edge_norm = min(max(passband_edge_norm, 0.05), 0.2450)
+        # Size the tapped cascade for the required attenuation: start from
+        # the requested (n1, n2) and grow the sub-filter until the designed
+        # filter clears the specification (narrower transition bands — e.g.
+        # the audio-codec retarget — need a longer sub-filter than the
+        # paper's n2 = 6).
+        target_att = max(options.halfband_target_attenuation_db,
+                         spec.decimator.stopband_attenuation_db)
+        halfband = None
+        for extra in range(0, 7):
+            hbf_designer = SaramakiHalfbandDesigner(
+                n1=options.halfband_n1,
+                n2=options.halfband_n2 + extra,
+                transition_start=passband_edge_norm,
+                coefficient_bits=options.halfband_coefficient_bits,
+            )
+            halfband = hbf_designer.design(target_att)
+            if (halfband.metadata["achieved_attenuation_db"]
+                    >= spec.decimator.stopband_attenuation_db):
+                break
+
+        # Composite scaling constant: restore the MSA-limited amplitude to the
+        # full scale of the output word, folding in the Sinc cascade DC gain
+        # (a power of two) exactly as the paper's S = 10.825 folds in its
+        # internal gain alignment.
+        levels = 1 << spec.modulator.quantizer_bits
+        max_input = (levels - 1) / 2.0
+        sinc_dc_gain = float(np.prod([2 ** s.spec.order for s in sinc_cascade.stages]))
+        output_full_scale = (1 << (spec.decimator.output_bits - 1)) - 1
+        guarded_full_scale = output_full_scale * (1 << options.guard_bits)
+        scale = (options.scaling_headroom * guarded_full_scale
+                 / (spec.modulator.msa * max_input * sinc_dc_gain))
+        scaling = ScalingStage(scale=scale,
+                               coefficient_bits=options.scaling_coefficient_bits,
+                               data_bits=spec.decimator.output_bits + 2,
+                               label="Scaling Stage")
+
+        # Equalizer: invert the droop of everything before it over the band.
+        droop_stages = [
+            CascadeStageDescription(SincFilter(s.spec).impulse_response(), 2, s.spec.label)
+            for s in sinc_cascade.stages
+        ]
+        droop_stages.append(CascadeStageDescription(halfband.equivalent_fir(), 2, "Halfband"))
+        droop_cascade = MultirateCascade(droop_stages, fs)
+        droop_freqs = np.linspace(0.0, spec.decimator.passband_edge_hz, 512)
+        droop = droop_cascade.overall_response(droop_freqs)
+        equalizer = design_droop_equalizer(
+            droop,
+            sample_rate_hz=spec.decimator.output_rate_hz,
+            passband_hz=spec.decimator.passband_edge_hz,
+            order=options.equalizer_order,
+            max_boost_db=options.equalizer_max_boost_db,
+        )
+        return cls(spec, options, sinc_cascade, halfband, scaling, equalizer)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def total_decimation(self) -> int:
+        return self.spec.total_decimation
+
+    def stage_infos(self) -> List[StageInfo]:
+        """Ordered per-stage summary (used by reports, RTL and power model)."""
+        infos: List[StageInfo] = []
+        for stage, impl in zip(self.sinc_cascade.stages, self._hogenauer_stages):
+            s = stage.spec
+            infos.append(StageInfo(
+                name=s.label, kind="sinc",
+                input_rate_hz=s.input_rate_hz, output_rate_hz=s.output_rate_hz,
+                decimation=s.decimation, input_bits=s.input_bits,
+                output_bits=s.output_bits,
+                details={"order": s.order, "resources": impl.resource_summary()},
+            ))
+        hb_bits = self.sinc_cascade.output_bits
+        infos.append(StageInfo(
+            name="Halfband", kind="halfband",
+            input_rate_hz=self.halfband_input_rate_hz,
+            output_rate_hz=self.halfband_input_rate_hz / 2.0,
+            decimation=2, input_bits=hb_bits, output_bits=hb_bits,
+            details={
+                "equivalent_order": self.halfband.equivalent_order,
+                "resources": self._halfband_impl.resource_summary(self.halfband_input_rate_hz),
+                "attenuation_db": self.halfband.metadata.get("achieved_attenuation_db"),
+            },
+        ))
+        out_bits = self.spec.decimator.output_bits
+        infos.append(StageInfo(
+            name="Scaling Stage", kind="scaling",
+            input_rate_hz=self.output_rate_hz, output_rate_hz=self.output_rate_hz,
+            decimation=1, input_bits=hb_bits, output_bits=out_bits,
+            details={"scale": self.scaling.quantized_scale,
+                     "resources": self.scaling.resource_summary(self.output_rate_hz)},
+        ))
+        infos.append(StageInfo(
+            name="Equalizer", kind="equalizer",
+            input_rate_hz=self.output_rate_hz, output_rate_hz=self.output_rate_hz,
+            decimation=1, input_bits=out_bits, output_bits=out_bits,
+            details={"order": self.equalizer.order,
+                     "resources": self._equalizer_impl.resource_summary(self.output_rate_hz)},
+        ))
+        return infos
+
+    # ------------------------------------------------------------------
+    # Frequency-domain model
+    # ------------------------------------------------------------------
+    def multirate_cascade(self, include_equalizer: bool = True,
+                          quantized: bool = True) -> MultirateCascade:
+        """The chain as a :class:`MultirateCascade` for response analysis."""
+        stages = [
+            CascadeStageDescription(SincFilter(s.spec).impulse_response(), 2, s.spec.label)
+            for s in self.sinc_cascade.stages
+        ]
+        stages.append(CascadeStageDescription(self.halfband.equivalent_fir(), 2, "Halfband"))
+        if include_equalizer:
+            taps = (self._equalizer_impl.quantized_taps if quantized
+                    else self.equalizer.taps)
+            stages.append(CascadeStageDescription(taps, 1, "Equalizer"))
+        return MultirateCascade(stages, self.spec.modulator.sample_rate_hz)
+
+    def overall_response(self, frequencies_hz: Optional[np.ndarray] = None,
+                         n_points: int = 8192) -> FrequencyResponse:
+        """Overall chain response with quantized coefficients (Fig. 11)."""
+        return self.multirate_cascade().overall_response(frequencies_hz, n_points)
+
+    def droop_response(self, frequencies_hz: Optional[np.ndarray] = None,
+                       n_points: int = 2048) -> FrequencyResponse:
+        """Response of the stages before the equalizer (Fig. 10's drooped curve)."""
+        return self.multirate_cascade(include_equalizer=False).overall_response(
+            frequencies_hz, n_points)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def codes_to_signed(self, codes: np.ndarray) -> np.ndarray:
+        """Convert modulator output codes (0 … 2^B−1) to signed integers.
+
+        The resulting two's-complement value is ``code − 2^(B−1)``; the half
+        LSB offset this introduces relative to the mid-rise quantizer levels
+        appears only at DC and is excluded from all SNR measurements.
+        """
+        offset = 1 << (self.spec.modulator.quantizer_bits - 1)
+        return np.asarray(codes, dtype=np.int64) - offset
+
+    def process_fixed(self, codes: np.ndarray, collect_trace: bool = False) -> np.ndarray:
+        """Bit-true simulation: 4-bit codes in, ``output_bits``-bit words out."""
+        signed = self.codes_to_signed(codes)
+        self._hogenauer.reset()
+        data = self._hogenauer.process(signed, collect_trace=collect_trace)
+        data = self._halfband_impl.process(data)
+        data = self.scaling.process(data)
+        data = self._equalizer_impl.process(data)
+        # Round away the guard LSBs and saturate to the output word (the
+        # scaler's headroom makes overflow rare; saturation mirrors the
+        # synthesized output register).
+        guard = self.options.guard_bits
+        if guard > 0:
+            half = 1 << (guard - 1)
+            data = np.array([(int(v) + half) >> guard for v in data.tolist()], dtype=object)
+        out_bits = self.spec.decimator.output_bits
+        lo = -(1 << (out_bits - 1))
+        hi = (1 << (out_bits - 1)) - 1
+        clipped = np.array([min(hi, max(lo, int(v))) for v in data.tolist()], dtype=np.int64)
+        return clipped
+
+    def process_float(self, modulator_output: np.ndarray) -> np.ndarray:
+        """Floating-point reference simulation on modulator output values (±1)."""
+        data = np.asarray(modulator_output, dtype=float)
+        for stage in self.sinc_cascade.stages:
+            taps = SincFilter(stage.spec).impulse_response(normalized=True)
+            filtered = np.convolve(data, taps)[:len(data)]
+            data = filtered[1::2]
+        data = self._halfband_impl.process_float(data)
+        data = data * (self.options.scaling_headroom / self.spec.modulator.msa)
+        data = self._equalizer_impl.process_float(data)
+        return data
+
+    def output_to_normalized(self, output_words: np.ndarray) -> np.ndarray:
+        """Scale integer output words to the ±1 range for spectral analysis."""
+        full_scale = 1 << (self.spec.decimator.output_bits - 1)
+        return np.asarray(output_words, dtype=float) / full_scale
+
+    def measure_output_snr(self, codes: np.ndarray, tone_hz: float,
+                           discard_outputs: Optional[int] = None,
+                           analyze_outputs: Optional[int] = None) -> float:
+        """End-to-end SNR of the decimated output for a tone test (Table I row).
+
+        Parameters
+        ----------
+        codes:
+            Modulator output codes (the chain's 4-bit input stream).
+        tone_hz:
+            Frequency of the test tone contained in the stream.
+        discard_outputs:
+            Output samples dropped while the chain's group delay flushes
+            (defaults to an estimate from the filter orders).
+        analyze_outputs:
+            Length of the analyzed record; defaults to everything after the
+            discarded transient.  Pass a length over which the tone is
+            coherent for the cleanest measurement.
+        """
+        from repro.dsm.spectrum import analyze_tone
+
+        output = self.output_to_normalized(self.process_fixed(codes))
+        settle = self._settle_samples() if discard_outputs is None else discard_outputs
+        trimmed = output[settle:]
+        if analyze_outputs is not None:
+            trimmed = trimmed[:analyze_outputs]
+        analysis = analyze_tone(trimmed, self.output_rate_hz, tone_hz,
+                                bandwidth_hz=self.spec.decimator.passband_edge_hz,
+                                window="blackmanharris", signal_bins=8)
+        return analysis.snr_db
+
+    def _settle_samples(self) -> int:
+        """Output samples to discard while the chain's group delay flushes."""
+        group_delay_in = 0.0
+        rate_factor = 1
+        for stage in self.sinc_cascade.stages:
+            taps = stage.spec.order * (stage.spec.decimation - 1)
+            group_delay_in += (taps / 2.0) * rate_factor
+            rate_factor *= stage.spec.decimation
+        group_delay_in += (self.halfband.equivalent_order / 2.0) * rate_factor
+        rate_factor *= 2
+        group_delay_in += (self.equalizer.order / 2.0) * rate_factor
+        settle_input_samples = 2.0 * group_delay_in
+        return max(8, int(np.ceil(settle_input_samples / self.total_decimation)))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Compact design summary used by the examples and the flow report."""
+        return {
+            "total_decimation": self.total_decimation,
+            "input_rate_hz": self.spec.modulator.sample_rate_hz,
+            "output_rate_hz": self.output_rate_hz,
+            "sinc_orders": [s.spec.order for s in self.sinc_cascade.stages],
+            "sinc_word_lengths": self.sinc_cascade.stage_word_lengths(),
+            "halfband_order": self.halfband.equivalent_order,
+            "halfband_attenuation_db": self.halfband.metadata.get("achieved_attenuation_db"),
+            "halfband_adders": self.halfband.adder_count(
+                self.options.halfband_coefficient_bits),
+            "equalizer_order": self.equalizer.order,
+            "scaling_factor": self.scaling.quantized_scale,
+            "output_bits": self.spec.decimator.output_bits,
+        }
+
+
+def design_paper_chain(options: Optional[ChainDesignOptions] = None) -> DecimationChain:
+    """Design the paper's exact chain (Table I spec, Fig. 5 architecture)."""
+    return DecimationChain.design(paper_chain_spec(), options)

@@ -1,0 +1,176 @@
+"""Specification verification of a designed decimation chain.
+
+Checks a :class:`~repro.core.chain.DecimationChain` against its
+:class:`~repro.core.spec.ChainSpec` the same way Section VII of the paper
+verifies its design: passband ripple, stopband/alias attenuation, halfband
+attenuation, equalized ripple and (optionally) the simulated end-to-end SNR.
+The result object is consumed by the tests, the examples and EXPERIMENTS.md
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class CheckResult:
+    """One verification check."""
+
+    name: str
+    measured: float
+    limit: float
+    comparison: str  # "<=" or ">="
+    passed: bool
+    unit: str = "dB"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        return (f"[{mark}] {self.name}: measured {self.measured:.2f} {self.unit} "
+                f"(required {self.comparison} {self.limit:g} {self.unit})")
+
+
+@dataclass
+class VerificationReport:
+    """Collection of verification checks with an overall verdict."""
+
+    checks: List[CheckResult] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def add(self, name: str, measured: float, limit: float, comparison: str,
+            unit: str = "dB") -> CheckResult:
+        if comparison == "<=":
+            ok = measured <= limit
+        elif comparison == ">=":
+            ok = measured >= limit
+        else:
+            raise ValueError("comparison must be '<=' or '>='")
+        check = CheckResult(name, float(measured), float(limit), comparison, ok, unit)
+        self.checks.append(check)
+        return check
+
+    def as_dict(self) -> Dict[str, dict]:
+        return {
+            check.name: {
+                "measured": check.measured,
+                "limit": check.limit,
+                "comparison": check.comparison,
+                "passed": check.passed,
+                "unit": check.unit,
+            }
+            for check in self.checks
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [str(check) for check in self.checks]
+        lines.append(f"Overall: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def verify_chain(chain, include_snr: bool = False,
+                 snr_samples: int = 65536,
+                 passband_fraction: float = 0.95) -> VerificationReport:
+    """Verify a designed chain against its specification.
+
+    Parameters
+    ----------
+    chain:
+        A :class:`~repro.core.chain.DecimationChain`.
+    include_snr:
+        Also run the (slow) modulator + bit-true chain simulation and check
+        the end-to-end SNR against the Table I target.
+    snr_samples:
+        Modulator samples to simulate when ``include_snr`` is set.
+    passband_fraction:
+        Fraction of the passband over which ripple is evaluated (the extreme
+        band edge at the output Nyquist frequency carries the halfband's
+        −6 dB point by construction; the paper's equalizer likewise restores
+        "the signal band" rather than the exact Nyquist edge).
+    """
+    spec = chain.spec
+    report = VerificationReport(metadata={"passband_fraction": passband_fraction})
+
+    dec = spec.decimator
+    passband_eval_hz = dec.passband_edge_hz * passband_fraction
+    cascade = chain.multirate_cascade()
+
+    ripple = cascade.passband_ripple_db(passband_eval_hz)
+    report.add("passband ripple", ripple, dec.passband_ripple_db, "<=")
+
+    # First alias band: the frequencies that fold onto the protected part of
+    # the signal band in the final decimation to the output rate.  This is
+    # the region the halfband filter is responsible for and the one the
+    # >85 dB Table I requirement targets.
+    protected_edge = dec.output_rate_hz - dec.stopband_edge_hz
+    first_alias = (dec.stopband_edge_hz, dec.output_rate_hz + protected_edge)
+    response = cascade.overall_response(n_points=32768)
+    first_alias_att = response.stopband_attenuation_db(*first_alias)
+    report.add("first alias band attenuation "
+               f"({first_alias[0]/1e6:.0f}-{first_alias[1]/1e6:.0f} MHz)",
+               first_alias_att, dec.stopband_attenuation_db, ">=")
+
+    hbf_att = chain.halfband.metadata.get("achieved_attenuation_db", 0.0)
+    report.add("halfband stopband attenuation", hbf_att,
+               dec.stopband_attenuation_db, ">=")
+
+    # Sinc cascade protection around the centres of its alias bands (the
+    # deep CIC nulls at multiples of the sinc-cascade output rate); the
+    # paper quotes >100 dB here, the spec requires >85 dB.
+    sinc_alias = chain.sinc_cascade.worst_alias_attenuation_db(
+        spec.modulator.bandwidth_hz / 8.0)
+    report.add("sinc cascade attenuation at alias-band centres", sinc_alias,
+               dec.stopband_attenuation_db, ">=")
+
+    if include_snr:
+        snr = simulated_output_snr(chain, n_samples=snr_samples)
+        report.add("end-to-end SNR (bit-true chain)", snr, dec.target_snr_db - 3.0, ">=")
+        report.metadata["simulated_snr_db"] = snr
+
+    return report
+
+
+def simulated_output_snr(chain, n_samples: int = 65536,
+                         tone_hz: Optional[float] = None,
+                         amplitude: Optional[float] = None,
+                         seed_phase: float = 0.0) -> float:
+    """Modulator → bit-true chain → SNR measurement (the Table I bottom row)."""
+    from repro.dsm.modulator import DeltaSigmaModulator
+    from repro.dsm.signals import coherent_tone
+
+    spec = chain.spec
+    modulator = DeltaSigmaModulator(
+        order=spec.modulator.order,
+        osr=spec.modulator.osr,
+        quantizer_bits=spec.modulator.quantizer_bits,
+        sample_rate_hz=spec.modulator.sample_rate_hz,
+        h_inf=spec.modulator.out_of_band_gain,
+    )
+    if tone_hz is None:
+        tone_hz = spec.modulator.bandwidth_hz / 4.0
+    if amplitude is None:
+        amplitude = spec.modulator.msa * 0.95
+
+    # Pad the stimulus with enough extra samples to flush the chain's group
+    # delay, so the analyzed output record stays coherent with the tone.
+    decimation = chain.total_decimation
+    settle_outputs = chain._settle_samples()
+    pad_inputs = settle_outputs * decimation
+    from repro.dsm.signals import ToneSpec
+
+    tone_spec = ToneSpec(tone_hz, amplitude, spec.modulator.sample_rate_hz, n_samples)
+    exact_tone_hz = tone_spec.coherent_frequency_hz
+    total = n_samples + pad_inputs
+    t = np.arange(total)
+    stimulus = amplitude * np.sin(
+        2.0 * np.pi * exact_tone_hz / spec.modulator.sample_rate_hz * t + seed_phase)
+    result = modulator.simulate(stimulus)
+    return chain.measure_output_snr(result.codes, exact_tone_hz,
+                                    discard_outputs=settle_outputs,
+                                    analyze_outputs=n_samples // decimation)

@@ -1,0 +1,103 @@
+"""Test-signal generation for modulator and decimator characterization.
+
+The paper characterizes the modulator with a single tone near the band edge
+(Fig. 4) and estimates decimation-filter power with a 5 MHz tone at the
+maximum stable amplitude (Section VIII).  The generators here produce
+coherently-sampled tones (an integer number of cycles in the record) so that
+windowless FFT analysis has no spectral leakage, plus multi-tone and noise
+stimuli for intermodulation and robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ToneSpec:
+    """Description of a coherently-sampled sine tone."""
+
+    frequency_hz: float
+    amplitude: float
+    sample_rate_hz: float
+    n_samples: int
+    phase: float = 0.0
+
+    @property
+    def coherent_frequency_hz(self) -> float:
+        """The tone frequency snapped to the nearest coherent FFT bin."""
+        cycles = max(1, int(round(self.frequency_hz / self.sample_rate_hz * self.n_samples)))
+        return cycles * self.sample_rate_hz / self.n_samples
+
+    @property
+    def bin_index(self) -> int:
+        """FFT bin index of the coherent tone."""
+        return max(1, int(round(self.frequency_hz / self.sample_rate_hz * self.n_samples)))
+
+
+def coherent_tone(frequency_hz: float, amplitude: float, sample_rate_hz: float,
+                  n_samples: int, phase: float = 0.0) -> np.ndarray:
+    """Generate a sine tone with an integer number of cycles in the record.
+
+    The requested frequency is snapped to the nearest FFT bin so that the
+    signal is periodic in the record length.
+    """
+    spec = ToneSpec(frequency_hz, amplitude, sample_rate_hz, n_samples, phase)
+    f = spec.coherent_frequency_hz
+    n = np.arange(n_samples)
+    return amplitude * np.sin(2.0 * np.pi * f / sample_rate_hz * n + phase)
+
+
+def multitone(frequencies_hz: Sequence[float], amplitudes: Sequence[float],
+              sample_rate_hz: float, n_samples: int,
+              phases: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Sum of coherently-sampled tones (for two-tone IMD style tests)."""
+    if len(frequencies_hz) != len(amplitudes):
+        raise ValueError("frequencies and amplitudes must have the same length")
+    if phases is None:
+        phases = [0.0] * len(frequencies_hz)
+    out = np.zeros(n_samples)
+    for f, a, p in zip(frequencies_hz, amplitudes, phases):
+        out += coherent_tone(f, a, sample_rate_hz, n_samples, p)
+    return out
+
+
+def band_limited_noise(bandwidth_hz: float, rms: float, sample_rate_hz: float,
+                       n_samples: int, seed: Optional[int] = None) -> np.ndarray:
+    """White Gaussian noise low-pass filtered to ``bandwidth_hz``.
+
+    Used as a wideband (OFDM-like) stimulus for the SDR example and for
+    stress-testing the decimation chain with non-sinusoidal inputs.
+    """
+    rng = np.random.default_rng(seed)
+    white = rng.standard_normal(n_samples)
+    spectrum = np.fft.rfft(white)
+    freqs = np.fft.rfftfreq(n_samples, d=1.0 / sample_rate_hz)
+    spectrum[freqs > bandwidth_hz] = 0.0
+    shaped = np.fft.irfft(spectrum, n=n_samples)
+    current_rms = np.sqrt(np.mean(shaped ** 2))
+    if current_rms <= 0:
+        return shaped
+    return shaped * (rms / current_rms)
+
+
+def ramp(amplitude: float, n_samples: int) -> np.ndarray:
+    """A slow full-scale ramp, useful for monotonicity and overflow tests."""
+    return np.linspace(-amplitude, amplitude, n_samples)
+
+
+def impulse(n_samples: int, amplitude: float = 1.0, position: int = 0) -> np.ndarray:
+    """A single impulse for measuring impulse responses of bit-true filters."""
+    out = np.zeros(n_samples)
+    if not 0 <= position < n_samples:
+        raise ValueError("impulse position outside the record")
+    out[position] = amplitude
+    return out
+
+
+def dc(level: float, n_samples: int) -> np.ndarray:
+    """Constant DC input."""
+    return np.full(n_samples, float(level))

@@ -1,0 +1,126 @@
+"""Filter design library.
+
+Every filter class the paper's decimation chain uses is designed and
+modelled here:
+
+* :mod:`~repro.filters.sinc` / :mod:`~repro.filters.hogenauer` — Sinc^K
+  (CIC) stages: design-level responses plus the bit-true multirate
+  Hogenauer implementation with retiming and pipelining (Section IV).
+* :mod:`~repro.filters.halfband` — Saramäki tapped-cascade halfband filter
+  design with CSD coefficient search, plus a conventional equiripple
+  halfband used as baseline (Section V).
+* :mod:`~repro.filters.fir` / :mod:`~repro.filters.equalizer` —
+  Parks–McClellan / least-squares FIR design and the droop equalizer
+  (Section VI).
+* :mod:`~repro.filters.scaling` — the MSA-recovery scaling stage
+  implemented with CSD and Horner's rule (Section VI).
+* :mod:`~repro.filters.polyphase` — generic polyphase decimators used as
+  references and by the ablation benchmarks.
+* :mod:`~repro.filters.response` / :mod:`~repro.filters.cascade` —
+  frequency-response evaluation, alias-band analysis and multirate cascade
+  composition (the machinery behind Figs. 8–11).
+"""
+
+from repro.filters.response import (
+    FrequencyResponse,
+    fir_frequency_response,
+    default_frequency_grid,
+    alias_bands_for_decimation,
+    group_delay_samples,
+    is_symmetric,
+)
+from repro.filters.sinc import (
+    SincFilterSpec,
+    SincFilter,
+    SincCascadeSpec,
+    SincCascade,
+    design_sinc_order_for_attenuation,
+    paper_sinc_cascade,
+)
+from repro.filters.hogenauer import (
+    HogenauerConfig,
+    HogenauerDecimator,
+    HogenauerCascade,
+    HogenauerTrace,
+)
+from repro.filters.halfband import (
+    SaramakiHalfband,
+    SaramakiHalfbandDesigner,
+    HalfbandDecimator,
+    design_halfband_remez,
+    halfband_zero_phase_response,
+    paper_halfband,
+)
+from repro.filters.fir import (
+    FIRFilterFixedPoint,
+    design_lowpass_remez,
+    design_arbitrary_response_ls,
+    fir_response,
+)
+from repro.filters.equalizer import (
+    EqualizerDesign,
+    design_droop_equalizer,
+    compensated_response,
+    residual_ripple_db,
+)
+from repro.filters.scaling import (
+    ScalingStage,
+    choose_scale_factor,
+    paper_scaling_stage,
+)
+from repro.filters.polyphase import (
+    PolyphaseDecimator,
+    PolyphaseDecimatorFixedPoint,
+    polyphase_components,
+)
+from repro.filters.cascade import (
+    CascadeStageDescription,
+    MultirateCascade,
+)
+from repro.filters.rate_converter import (
+    FarrowRateConverter,
+    resample_decimator_output,
+)
+
+__all__ = [
+    "FrequencyResponse",
+    "fir_frequency_response",
+    "default_frequency_grid",
+    "alias_bands_for_decimation",
+    "group_delay_samples",
+    "is_symmetric",
+    "SincFilterSpec",
+    "SincFilter",
+    "SincCascadeSpec",
+    "SincCascade",
+    "design_sinc_order_for_attenuation",
+    "paper_sinc_cascade",
+    "HogenauerConfig",
+    "HogenauerDecimator",
+    "HogenauerCascade",
+    "HogenauerTrace",
+    "SaramakiHalfband",
+    "SaramakiHalfbandDesigner",
+    "HalfbandDecimator",
+    "design_halfband_remez",
+    "halfband_zero_phase_response",
+    "paper_halfband",
+    "FIRFilterFixedPoint",
+    "design_lowpass_remez",
+    "design_arbitrary_response_ls",
+    "fir_response",
+    "EqualizerDesign",
+    "design_droop_equalizer",
+    "compensated_response",
+    "residual_ripple_db",
+    "ScalingStage",
+    "choose_scale_factor",
+    "paper_scaling_stage",
+    "PolyphaseDecimator",
+    "PolyphaseDecimatorFixedPoint",
+    "polyphase_components",
+    "CascadeStageDescription",
+    "MultirateCascade",
+    "FarrowRateConverter",
+    "resample_decimator_output",
+]

@@ -1,0 +1,23 @@
+"""The rapid design-and-synthesis flow (the paper's 'process flow').
+
+One call — :func:`run_design_flow` — performs every step of the paper's
+methodology: specification → chain design → mask verification → optional
+end-to-end SNR simulation → RTL generation → power/area estimation, and
+returns a single :class:`FlowResult` whose report renders the same artefacts
+the paper presents (Table I compliance, Table II power, Figs. 8–13 data).
+"""
+
+from repro.flow.pipeline import FlowResult, run_design_flow
+from repro.flow.reports import (
+    flow_report_text,
+    power_table_markdown,
+    verification_table_markdown,
+)
+
+__all__ = [
+    "FlowResult",
+    "run_design_flow",
+    "flow_report_text",
+    "power_table_markdown",
+    "verification_table_markdown",
+]

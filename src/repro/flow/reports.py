@@ -1,0 +1,58 @@
+"""Textual and markdown reports of a flow run (the paper's tables as text)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.flow.pipeline import FlowResult
+
+
+def power_table_markdown(result: FlowResult) -> str:
+    """Table II as a markdown table."""
+    rows = result.synthesis.power_table()
+    lines = ["| Filter Stage | Dynamic Power (mW) | Leakage Power (uW) |",
+             "|---|---|---|"]
+    for row in rows:
+        lines.append(f"| {row['Filter Stage']} | {row['Dynamic Power (mW)']} "
+                     f"| {row['Leakage Power (uW)']} |")
+    return "\n".join(lines)
+
+
+def verification_table_markdown(result: FlowResult) -> str:
+    """Table I compliance as a markdown table."""
+    lines = ["| Check | Measured | Requirement | Status |",
+             "|---|---|---|---|"]
+    for check in result.verification.checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(f"| {check.name} | {check.measured:.2f} {check.unit} "
+                     f"| {check.comparison} {check.limit:g} {check.unit} | {status} |")
+    return "\n".join(lines)
+
+
+def flow_report_text(result: FlowResult) -> str:
+    """Human-readable report covering design, verification, power and area."""
+    chain = result.chain
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append("Decimation filter rapid design and synthesis flow — report")
+    lines.append("=" * 72)
+    summary = chain.summary()
+    lines.append("Design summary:")
+    for key, value in summary.items():
+        lines.append(f"  {key:<28} {value}")
+    lines.append("")
+    lines.append("Specification verification:")
+    for check in result.verification.checks:
+        lines.append("  " + str(check))
+    lines.append(f"  Overall: {'PASS' if result.verification.passed else 'FAIL'}")
+    if result.simulated_snr_db is not None:
+        lines.append(f"  Simulated end-to-end SNR: {result.simulated_snr_db:.1f} dB")
+    lines.append("")
+    lines.append(str(result.synthesis.power))
+    lines.append("")
+    lines.append(str(result.synthesis.area))
+    lines.append("")
+    lines.append(f"Generated RTL: {len(result.synthesis.rtl)} modules, "
+                 f"{result.synthesis.rtl_line_count()} lines")
+    lines.append("=" * 72)
+    return "\n".join(lines)

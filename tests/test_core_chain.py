@@ -1,0 +1,124 @@
+"""Tests for the designed decimation chain."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChainDesignOptions, DecimationChain, paper_chain_spec
+
+
+class TestChainDesign:
+    def test_paper_architecture(self, paper_chain):
+        summary = paper_chain.summary()
+        assert summary["sinc_orders"] == [4, 4, 6]
+        assert summary["sinc_word_lengths"] == [4, 8, 12]
+        assert summary["halfband_order"] == 110
+        assert summary["equalizer_order"] == 64
+        assert summary["total_decimation"] == 16
+        assert summary["output_bits"] == 14
+
+    def test_stage_infos_order_and_rates(self, paper_chain):
+        infos = paper_chain.stage_infos()
+        assert [i.kind for i in infos] == ["sinc", "sinc", "sinc", "halfband",
+                                           "scaling", "equalizer"]
+        assert infos[0].input_rate_hz == pytest.approx(640e6)
+        assert infos[3].input_rate_hz == pytest.approx(80e6)
+        assert infos[-1].output_rate_hz == pytest.approx(40e6)
+
+    def test_auto_sinc_order_selection(self):
+        options = ChainDesignOptions(sinc_orders=None)
+        chain = DecimationChain.design(paper_chain_spec(), options)
+        orders = [s.spec.order for s in chain.sinc_cascade.stages]
+        assert len(orders) == 3
+        assert orders[-1] >= 6  # last stage must cover the 5th-order NTF
+
+    def test_wrong_stage_count_rejected(self):
+        options = ChainDesignOptions(sinc_orders=(4, 4))  # needs 3 + halfband
+        with pytest.raises(ValueError):
+            DecimationChain.design(paper_chain_spec(), options)
+
+    def test_halfband_transition_from_spec(self, paper_chain):
+        # Stopband edge 23 MHz at 80 MHz input → passband edge (40-23)/80.
+        assert paper_chain.halfband.metadata["transition_start"] == pytest.approx(0.2125)
+
+    def test_scaling_factor_accounts_for_msa_and_gain(self, paper_chain):
+        # scale ≈ 0.99 * (2^13-1) * 2^guard / (0.81 * 7.5 * 2^14)
+        expected = 0.99 * 8191 * 16 / (0.81 * 7.5 * 16384)
+        assert paper_chain.scaling.quantized_scale == pytest.approx(expected, rel=0.01)
+
+
+class TestChainResponses:
+    def test_overall_response_meets_ripple(self, paper_chain):
+        freqs = np.linspace(0, 19e6, 512)
+        resp = paper_chain.overall_response(freqs)
+        assert resp.passband_ripple_db(19e6) < 1.0
+
+    def test_droop_response_shows_droop(self, paper_chain):
+        freqs = np.linspace(0, 19e6, 256)
+        droop = paper_chain.droop_response(freqs)
+        assert droop.passband_droop_db(19e6) > 3.0
+
+    def test_overall_response_first_alias_band(self, paper_chain):
+        resp = paper_chain.overall_response(n_points=16384)
+        assert resp.stopband_attenuation_db(23e6, 57e6) > 85.0
+
+    def test_quantized_and_ideal_equalizer_close(self, paper_chain):
+        quantized = paper_chain.multirate_cascade(quantized=True)
+        ideal = paper_chain.multirate_cascade(quantized=False)
+        freqs = np.linspace(0, 19e6, 128)
+        q = quantized.overall_response(freqs).magnitude_db
+        i = ideal.overall_response(freqs).magnitude_db
+        assert np.max(np.abs(q - i)) < 0.1
+
+
+class TestChainSimulation:
+    def test_codes_to_signed_range(self, paper_chain):
+        codes = np.array([0, 7, 8, 15])
+        signed = paper_chain.codes_to_signed(codes)
+        assert list(signed) == [-8, -1, 0, 7]
+
+    def test_fixed_point_output_within_word(self, paper_chain, modulator_codes):
+        out = paper_chain.process_fixed(modulator_codes.codes[:4096])
+        assert out.max() <= 2 ** 13 - 1
+        assert out.min() >= -2 ** 13
+        assert len(out) == 4096 // 16
+
+    def test_fixed_point_tracks_float_model(self, paper_chain, modulator_codes):
+        n = 8192
+        fixed = paper_chain.output_to_normalized(
+            paper_chain.process_fixed(modulator_codes.codes[:n]))
+        flt = paper_chain.process_float(modulator_codes.output[:n])
+        # Same tone amplitude and phase after scaling: compare mid-record RMS.
+        mid = slice(len(fixed) // 4, 3 * len(fixed) // 4)
+        assert np.sqrt(np.mean(fixed[mid] ** 2)) == pytest.approx(
+            np.sqrt(np.mean(flt[mid] ** 2)), rel=0.03)
+
+    def test_output_tone_amplitude_restored_to_full_scale(self, paper_chain,
+                                                          modulator_codes):
+        # Input tone at 0.7 of modulator full scale → after the 1/MSA scaling
+        # the output tone sits near 0.7/0.81 ≈ 0.86 of digital full scale.
+        out = paper_chain.output_to_normalized(
+            paper_chain.process_fixed(modulator_codes.codes))
+        settled = out[200:800]
+        amplitude = np.sqrt(2.0) * np.sqrt(np.mean(settled ** 2))
+        assert amplitude == pytest.approx(0.7 * 0.99 / 0.81, rel=0.05)
+
+    def test_measure_output_snr_reasonable(self, paper_chain, modulator_codes):
+        snr = paper_chain.measure_output_snr(modulator_codes.codes, 2.5e6)
+        assert snr > 75.0
+
+    def test_float_simulation_snr_high(self, paper_chain, modulator_codes):
+        # The floating-point chain is limited only by the modulator noise and
+        # the filter's alias leakage; on this short (1024-output-sample)
+        # record the measured SNR must stay well above the 14-bit-dominated
+        # fixed-point value.  (The full-length benchmark record reproduces
+        # the paper's ≈86 dB figure; see benchmarks/bench_end_to_end_snr.py.)
+        from repro.dsm.spectrum import analyze_tone
+
+        out = paper_chain.process_float(modulator_codes.output)
+        analysis = analyze_tone(out[256:], 40e6, 2.5e6, 20e6,
+                                window="blackmanharris", signal_bins=8)
+        assert analysis.snr_db > 80.0
+
+    def test_settle_samples_positive_and_bounded(self, paper_chain):
+        settle = paper_chain._settle_samples()
+        assert 8 <= settle <= 512

@@ -1,0 +1,81 @@
+"""Tests for the architecture-selection methodology."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    choose_sinc_orders,
+    evaluate_sinc_orders,
+    paper_chain_spec,
+    predicted_snr_after_decimation,
+    sweep_sinc_order_splits,
+    audio_chain_spec,
+)
+from repro.core.designer import required_halfband_transition
+
+
+class TestChooseSincOrders:
+    def test_paper_spec_reproduces_446(self):
+        assert choose_sinc_orders(paper_chain_spec()) == (4, 4, 6)
+
+    def test_last_stage_covers_modulator_order(self):
+        orders = choose_sinc_orders(paper_chain_spec())
+        assert orders[-1] >= paper_chain_spec().modulator.order + 1
+
+    def test_audio_spec_produces_five_sinc_stages(self):
+        orders = choose_sinc_orders(audio_chain_spec())
+        assert len(orders) == 5  # six halvings, one taken by the halfband
+        assert orders[-1] >= 4
+
+
+class TestEvaluateSincOrders:
+    def test_evaluation_fields(self):
+        result = evaluate_sinc_orders((4, 4, 6), paper_chain_spec())
+        assert result.orders == (4, 4, 6)
+        assert result.alias_attenuation_db > 50.0
+        assert result.passband_droop_db > 0.0
+        assert result.total_adder_bits > 0
+        assert result.output_bits == 18
+
+    def test_higher_orders_more_attenuation_more_droop(self):
+        spec = paper_chain_spec()
+        low = evaluate_sinc_orders((3, 3, 3), spec)
+        high = evaluate_sinc_orders((6, 6, 6), spec)
+        assert high.alias_attenuation_db > low.alias_attenuation_db
+        assert high.passband_droop_db > low.passband_droop_db
+        assert high.total_adder_bits > low.total_adder_bits
+
+    def test_sweep_covers_all_combinations(self):
+        spec = paper_chain_spec()
+        results = sweep_sinc_order_splits(spec, candidate_orders=(4, 6))
+        assert len(results) == 2 ** 3
+        assert any(r.orders == (4, 4, 6) for r in results)
+
+
+class TestHalfbandTransition:
+    def test_paper_value(self):
+        assert required_halfband_transition(paper_chain_spec()) == pytest.approx(0.2125)
+
+    def test_clamped_to_valid_range(self):
+        spec = audio_chain_spec()
+        value = required_halfband_transition(spec)
+        assert 0.05 <= value <= 0.245
+
+
+class TestPredictedSNR:
+    def test_paper_split_meets_target(self):
+        snr = predicted_snr_after_decimation(paper_chain_spec(), (4, 4, 6))
+        assert snr > 86.0
+
+    def test_weak_sinc_cascade_loses_snr(self):
+        spec = paper_chain_spec()
+        strong = predicted_snr_after_decimation(spec, (4, 4, 6))
+        weak = predicted_snr_after_decimation(spec, (1, 1, 1))
+        assert strong > weak
+
+    def test_prediction_close_to_simulation(self, paper_chain):
+        # The linear-model prediction and the bit-true simulation should land
+        # within a few dB of each other (the prediction ignores the 14-bit
+        # output quantization, so it sits above the simulated value).
+        predicted = predicted_snr_after_decimation(paper_chain.spec, (4, 4, 6))
+        assert 86.0 < predicted < 115.0

@@ -1,0 +1,110 @@
+"""Tests for the specification dataclasses (Table I)."""
+
+import pytest
+
+from repro.core import (
+    ChainSpec,
+    DecimationFilterSpec,
+    ModulatorSpec,
+    audio_chain_spec,
+    paper_chain_spec,
+)
+
+
+class TestModulatorSpec:
+    def test_paper_defaults_match_table1(self):
+        spec = ModulatorSpec()
+        assert spec.order == 5
+        assert spec.out_of_band_gain == 3.0
+        assert spec.bandwidth_hz == 20e6
+        assert spec.sample_rate_hz == 640e6
+        assert spec.osr == 16
+        assert spec.quantizer_bits == 4
+        assert spec.msa == 0.81
+        assert spec.target_snr_db == 86.0
+
+    def test_derived_nyquist_rate(self):
+        assert ModulatorSpec().nyquist_rate_hz == pytest.approx(40e6)
+
+    def test_resolution_bits_about_fourteen(self):
+        assert ModulatorSpec().resolution_bits == pytest.approx(14.0, abs=0.1)
+
+    def test_inconsistent_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ModulatorSpec(sample_rate_hz=500e6)  # ≠ 2*BW*OSR
+
+    @pytest.mark.parametrize("field,value", [
+        ("order", 0), ("osr", 1), ("msa", 0.0), ("msa", 1.5),
+        ("quantizer_bits", 0), ("bandwidth_hz", -1.0),
+    ])
+    def test_invalid_fields(self, field, value):
+        kwargs = {field: value}
+        if field == "bandwidth_hz":
+            kwargs["sample_rate_hz"] = -32.0  # keep consistency check out of the way
+        with pytest.raises(ValueError):
+            ModulatorSpec(**kwargs)
+
+
+class TestDecimationFilterSpec:
+    def test_paper_defaults(self):
+        spec = DecimationFilterSpec()
+        assert spec.input_bits == 4
+        assert spec.passband_edge_hz == 20e6
+        assert spec.stopband_edge_hz == 23e6
+        assert spec.stopband_attenuation_db == 85.0
+        assert spec.output_rate_hz == 40e6
+        assert spec.output_bits == 14
+
+    def test_transition_band(self):
+        assert DecimationFilterSpec().transition_band_hz == pytest.approx(3e6)
+
+    def test_output_nyquist(self):
+        assert DecimationFilterSpec().output_nyquist_hz == pytest.approx(20e6)
+
+    def test_band_edge_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            DecimationFilterSpec(passband_edge_hz=25e6, stopband_edge_hz=23e6)
+
+    def test_passband_beyond_nyquist_rejected(self):
+        with pytest.raises(ValueError):
+            DecimationFilterSpec(passband_edge_hz=21e6, stopband_edge_hz=25e6,
+                                 output_rate_hz=40e6)
+
+    def test_invalid_ripple(self):
+        with pytest.raises(ValueError):
+            DecimationFilterSpec(passband_ripple_db=0.0)
+
+
+class TestChainSpec:
+    def test_paper_chain_consistency(self):
+        spec = paper_chain_spec()
+        assert spec.total_decimation == 16
+        assert spec.num_halving_stages == 4
+
+    def test_audio_chain_consistency(self):
+        spec = audio_chain_spec()
+        assert spec.total_decimation == 64
+        assert spec.num_halving_stages == 6
+
+    def test_mismatched_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ChainSpec(
+                modulator=ModulatorSpec(),
+                decimator=DecimationFilterSpec(output_rate_hz=50e6,
+                                               passband_edge_hz=20e6,
+                                               stopband_edge_hz=23e6),
+            )
+
+    def test_mismatched_word_length_rejected(self):
+        with pytest.raises(ValueError):
+            ChainSpec(
+                modulator=ModulatorSpec(quantizer_bits=3),
+                decimator=DecimationFilterSpec(input_bits=4),
+            )
+
+    def test_non_power_of_two_decimation_rejected(self):
+        modulator = ModulatorSpec(osr=12, sample_rate_hz=480e6)
+        decimator = DecimationFilterSpec()
+        spec = ChainSpec(modulator=modulator, decimator=decimator)
+        with pytest.raises(ValueError):
+            _ = spec.num_halving_stages

@@ -1,0 +1,77 @@
+"""Tests for the continuous-time loop-filter mapping."""
+
+import numpy as np
+import pytest
+
+from repro.dsm import (
+    active_rc_components,
+    map_ntf_to_ct,
+    synthesize_ntf,
+)
+from repro.dsm.ct_loopfilter import summarize_ct_design
+
+
+@pytest.fixture(scope="module")
+def ct_mapping(request):
+    ntf = synthesize_ntf(5, 16, 3.0)
+    return map_ntf_to_ct(ntf, 640e6)
+
+
+class TestCTMapping:
+    def test_order_preserved(self, ct_mapping):
+        assert ct_mapping.order == 5
+        assert len(ct_mapping.feedforward) == 5
+
+    def test_impulse_response_matches_dt_loop_filter(self, ct_mapping):
+        # Impulse invariance: the sampled CT loop-filter impulse response must
+        # match the DT loop filter's to numerical precision.
+        assert ct_mapping.metadata["match_error"] < 1e-6
+
+    def test_two_resonators_for_fifth_order(self, ct_mapping):
+        # A 5th-order modulator with optimized zeros uses two resonators
+        # (Fig. 2 of the paper); the DC zero needs none.
+        assert len(ct_mapping.resonator_gains) == 2
+        assert np.all(ct_mapping.resonator_gains > 0)
+
+    def test_resonator_gains_match_zero_frequencies(self, ct_mapping):
+        # g = (2*pi*f_zero)^2 for each non-DC zero pair.
+        zero_freqs = sorted(f for f in ct_mapping.ntf.metadata["zero_frequencies"] if f > 0)
+        expected = [(2 * np.pi * f) ** 2 for f in zero_freqs]
+        assert np.allclose(sorted(ct_mapping.resonator_gains), expected, rtol=1e-9)
+
+    def test_feedforward_coefficients_decay(self, ct_mapping):
+        # Later integrators contribute progressively smaller feed-forward
+        # terms in a CIFF realization.
+        magnitudes = np.abs(ct_mapping.feedforward)
+        assert magnitudes[0] > magnitudes[-1]
+
+    def test_lower_order_mapping(self):
+        ntf = synthesize_ntf(3, 32, 1.5)
+        ct = map_ntf_to_ct(ntf, 100e6)
+        assert ct.order == 3
+        assert ct.metadata["match_error"] < 1e-6
+
+    def test_summary_keys(self, ct_mapping):
+        summary = summarize_ct_design(ct_mapping)
+        assert set(summary) == {"order", "feedforward", "resonator_gains",
+                                "match_error", "sample_rate_hz"}
+
+
+class TestActiveRC:
+    def test_component_list_nonempty(self, ct_mapping):
+        components = active_rc_components(ct_mapping)
+        assert len(components) >= ct_mapping.order
+
+    def test_integrator_rc_product(self, ct_mapping):
+        components = active_rc_components(ct_mapping,
+                                          integrating_capacitor_farad=500e-15)
+        integrators = [c for c in components if c.capacitance_farad > 0]
+        for comp in integrators:
+            rc = comp.resistance_ohm * comp.capacitance_farad
+            assert rc == pytest.approx(1.0 / 640e6, rel=1e-9)
+
+    def test_feedforward_resistors_positive(self, ct_mapping):
+        components = active_rc_components(ct_mapping)
+        feedforward = [c for c in components if "feed-forward" in c.name]
+        assert all(c.resistance_ohm > 0 for c in feedforward)
+        assert len(feedforward) >= 4

@@ -1,0 +1,131 @@
+"""Tests for NTF synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.dsm import (
+    NoiseTransferFunction,
+    NTFSynthesisError,
+    optimal_zero_frequencies,
+    synthesize_ntf,
+)
+
+
+class TestOptimalZeros:
+    def test_count_matches_order(self):
+        for order in range(1, 9):
+            assert len(optimal_zero_frequencies(order, 16)) == order
+
+    def test_odd_orders_have_dc_zero(self):
+        for order in (1, 3, 5, 7):
+            freqs = optimal_zero_frequencies(order, 16)
+            assert np.any(np.isclose(freqs, 0.0))
+
+    def test_even_orders_have_no_dc_zero(self):
+        for order in (2, 4, 6, 8):
+            freqs = optimal_zero_frequencies(order, 16)
+            assert not np.any(np.isclose(freqs, 0.0))
+
+    def test_zeros_are_conjugate_symmetric(self):
+        freqs = optimal_zero_frequencies(5, 16)
+        nonzero = freqs[~np.isclose(freqs, 0.0)]
+        assert np.allclose(sorted(nonzero), sorted(-nonzero))
+
+    def test_zeros_within_signal_band(self):
+        osr = 16
+        freqs = optimal_zero_frequencies(5, osr)
+        assert np.all(np.abs(freqs) <= 0.5 / osr + 1e-12)
+
+    def test_unoptimized_zeros_all_at_dc(self):
+        freqs = optimal_zero_frequencies(5, 16, optimize=False)
+        assert np.allclose(freqs, 0.0)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            optimal_zero_frequencies(0, 16)
+
+
+class TestSynthesizeNTF:
+    def test_paper_design_h_inf(self, paper_ntf):
+        assert paper_ntf.h_inf == pytest.approx(3.0, rel=1e-3)
+
+    def test_paper_design_order(self, paper_ntf):
+        assert paper_ntf.order == 5
+        assert len(paper_ntf.zeros) == 5
+        assert len(paper_ntf.poles) == 5
+
+    def test_ntf_is_monic(self, paper_ntf):
+        b, a = paper_ntf.as_tf()
+        assert b[0] == pytest.approx(1.0)
+        assert a[0] == pytest.approx(1.0)
+
+    def test_poles_inside_unit_circle(self, paper_ntf):
+        assert np.all(np.abs(paper_ntf.poles) < 1.0)
+
+    def test_zeros_on_unit_circle(self, paper_ntf):
+        assert np.allclose(np.abs(paper_ntf.zeros), 1.0, atol=1e-9)
+
+    def test_deep_inband_attenuation(self, paper_ntf):
+        inband = np.linspace(1e-4, 0.5 / 16, 256)
+        assert np.max(paper_ntf.magnitude_db(inband)) < -40.0
+
+    def test_out_of_band_gain_attained_near_nyquist(self, paper_ntf):
+        assert abs(paper_ntf.frequency_response(np.array([0.5]))[0]) == pytest.approx(
+            3.0, rel=0.05)
+
+    def test_higher_h_inf_means_less_inband_noise(self):
+        mild = synthesize_ntf(5, 16, h_inf=1.5)
+        aggressive = synthesize_ntf(5, 16, h_inf=3.0)
+        assert aggressive.inband_noise_gain() < mild.inband_noise_gain()
+
+    def test_optimized_zeros_beat_dc_zeros(self):
+        optimized = synthesize_ntf(5, 16, 3.0, optimize_zeros=True)
+        dc_only = synthesize_ntf(5, 16, 3.0, optimize_zeros=False)
+        assert optimized.inband_noise_gain() < dc_only.inband_noise_gain()
+
+    def test_predicted_sqnr_close_to_paper(self, paper_ntf):
+        # The paper's simulated SQNR is 102 dB; the linear model should be in
+        # the same neighbourhood (it ignores quantizer overload and tones).
+        predicted = paper_ntf.predicted_sqnr_db(quantizer_levels=16, input_amplitude=0.81)
+        assert 95.0 < predicted < 120.0
+
+    def test_loop_filter_impulse_is_strictly_causal(self, paper_ntf):
+        impulse = paper_ntf.loop_filter_impulse_response(32)
+        assert impulse[0] == pytest.approx(0.0, abs=1e-12)
+        assert np.any(np.abs(impulse[1:]) > 0)
+
+    def test_invalid_h_inf(self):
+        with pytest.raises(ValueError):
+            synthesize_ntf(5, 16, h_inf=0.9)
+
+    def test_invalid_osr(self):
+        with pytest.raises(ValueError):
+            synthesize_ntf(5, 1, 1.5)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            synthesize_ntf(0, 16, 1.5)
+
+    def test_unreachable_h_inf_raises(self):
+        # An out-of-band gain barely above unity is below what any pole
+        # placement can achieve for a 5th-order NTF with spread zeros.
+        with pytest.raises(NTFSynthesisError):
+            synthesize_ntf(5, 8, h_inf=1.001)
+
+    def test_bandpass_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            synthesize_ntf(4, 16, 1.5, f0=0.25)
+
+    def test_other_orders_synthesize(self):
+        for order in (2, 3, 4, 6):
+            ntf = synthesize_ntf(order, 32, 1.5)
+            assert ntf.h_inf == pytest.approx(1.5, rel=1e-3)
+
+    def test_evaluate_at_dc_is_zero_for_odd_order(self, paper_ntf):
+        assert abs(paper_ntf.evaluate(np.array([1.0 + 0j]))[0]) < 1e-9
+
+    def test_frequency_response_shape(self, paper_ntf):
+        freqs = np.linspace(0, 0.5, 100)
+        resp = paper_ntf.frequency_response(freqs)
+        assert resp.shape == (100,)
+        assert np.iscomplexobj(resp)

@@ -1,0 +1,90 @@
+"""Tests for the droop-compensating equalizer design."""
+
+import numpy as np
+import pytest
+
+from repro.filters import (
+    compensated_response,
+    design_droop_equalizer,
+    residual_ripple_db,
+)
+
+
+@pytest.fixture(scope="module")
+def droop_and_equalizer():
+    from repro.core import design_paper_chain
+
+    chain = design_paper_chain()
+    freqs = np.linspace(0.0, 20e6, 400)
+    droop = chain.droop_response(freqs)
+    return droop, chain.equalizer, chain
+
+
+class TestEqualizerDesign:
+    def test_order_matches_request(self, droop_and_equalizer):
+        _, eq, _ = droop_and_equalizer
+        assert eq.order == 64
+        assert len(eq.taps) == 65
+
+    def test_taps_symmetric_linear_phase(self, droop_and_equalizer):
+        _, eq, _ = droop_and_equalizer
+        assert np.allclose(eq.taps, eq.taps[::-1], atol=1e-12)
+
+    def test_gain_rises_toward_band_edge(self, droop_and_equalizer):
+        # The equalizer must boost where the sinc cascade droops (Fig. 10).
+        _, eq, _ = droop_and_equalizer
+        resp = eq.response(np.linspace(1e5, 19e6, 100))
+        mags = np.abs(resp.magnitude)
+        assert mags[-1] > mags[0]
+
+    def test_dc_gain_near_unity(self, droop_and_equalizer):
+        _, eq, _ = droop_and_equalizer
+        dc = abs(eq.response(np.array([0.0, 1e5])).magnitude[0])
+        assert dc == pytest.approx(1.0, abs=0.05)
+
+    def test_compensated_response_flat(self, droop_and_equalizer):
+        droop, eq, _ = droop_and_equalizer
+        freqs = np.linspace(0.0, 19e6, 256)
+        comp = compensated_response(droop, eq, freqs)
+        ripple = comp.passband_ripple_db(19e6)
+        # Paper: residual ripple < 0.5 dB over the signal band.
+        assert ripple < 0.6
+
+    def test_residual_ripple_helper_consistent(self, droop_and_equalizer):
+        droop, eq, _ = droop_and_equalizer
+        r95 = residual_ripple_db(droop, eq, 20e6, fraction=0.95)
+        assert r95 < 0.5
+
+    def test_uncompensated_droop_is_large(self, droop_and_equalizer):
+        droop, _, _ = droop_and_equalizer
+        droop_db = droop.magnitude_db_at(0.0) - droop.magnitude_db_at(19e6)
+        # Sinc cascade + halfband edge droop around 5–10 dB near the edge.
+        assert droop_db > 3.0
+
+    def test_boost_is_capped(self, droop_and_equalizer):
+        droop, _, chain = droop_and_equalizer
+        eq = design_droop_equalizer(droop, 40e6, 20e6, order=64, max_boost_db=6.0)
+        resp = eq.response(np.linspace(0, 20e6, 512))
+        assert np.max(np.abs(resp.magnitude)) < 10 ** (9.0 / 20.0)
+
+    def test_odd_order_rejected(self, droop_and_equalizer):
+        droop, _, _ = droop_and_equalizer
+        with pytest.raises(ValueError):
+            design_droop_equalizer(droop, 40e6, 20e6, order=63)
+
+    def test_passband_beyond_nyquist_rejected(self, droop_and_equalizer):
+        droop, _, _ = droop_and_equalizer
+        with pytest.raises(ValueError):
+            design_droop_equalizer(droop, 40e6, 25e6, order=64)
+
+    def test_larger_order_reduces_ripple(self, droop_and_equalizer):
+        droop, _, _ = droop_and_equalizer
+        small = design_droop_equalizer(droop, 40e6, 20e6, order=16)
+        large = design_droop_equalizer(droop, 40e6, 20e6, order=64)
+        assert (residual_ripple_db(droop, large, 20e6, fraction=0.9)
+                <= residual_ripple_db(droop, small, 20e6, fraction=0.9) + 1e-9)
+
+    def test_csd_quantization_available(self, droop_and_equalizer):
+        _, eq, _ = droop_and_equalizer
+        codes = eq.quantize_csd(16)
+        assert len(codes) == len(eq.taps)

@@ -1,0 +1,129 @@
+"""Tests for FIR design wrappers and the bit-true FIR implementation."""
+
+import numpy as np
+import pytest
+
+from repro.filters import (
+    FIRFilterFixedPoint,
+    design_arbitrary_response_ls,
+    design_lowpass_remez,
+    fir_response,
+)
+
+
+class TestRemezLowpass:
+    def test_meets_basic_mask(self):
+        taps = design_lowpass_remez(80, 0.2, 0.25)
+        resp = fir_response(taps, 1.0, np.linspace(0, 0.5, 2048))
+        assert resp.passband_ripple_db(0.2) < 1.0
+        assert resp.stopband_attenuation_db(0.25) > 40.0
+
+    def test_symmetric(self):
+        taps = design_lowpass_remez(64, 0.2, 0.3)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_stopband_weight_trades_ripple(self):
+        balanced = design_lowpass_remez(60, 0.2, 0.25)
+        weighted = design_lowpass_remez(60, 0.2, 0.25, stopband_weight=10.0)
+        grid = np.linspace(0, 0.5, 4096)
+        att_b = fir_response(balanced, 1.0, grid).stopband_attenuation_db(0.25)
+        att_w = fir_response(weighted, 1.0, grid).stopband_attenuation_db(0.25)
+        assert att_w > att_b
+
+    def test_invalid_band_edges(self):
+        with pytest.raises(ValueError):
+            design_lowpass_remez(64, 0.3, 0.2)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            design_lowpass_remez(1, 0.2, 0.3)
+
+
+class TestArbitraryResponseLS:
+    def test_fits_flat_response(self):
+        freqs = np.linspace(0, 0.4, 100)
+        taps = design_arbitrary_response_ls(32, freqs, np.ones(100))
+        resp = fir_response(taps, 1.0, freqs)
+        assert np.allclose(np.abs(resp.magnitude), 1.0, atol=0.02)
+
+    def test_fits_sloped_response(self):
+        freqs = np.linspace(0, 0.45, 200)
+        desired = 1.0 + freqs  # gentle tilt
+        taps = design_arbitrary_response_ls(40, freqs, desired)
+        resp = fir_response(taps, 1.0, freqs)
+        assert np.max(np.abs(np.abs(resp.magnitude) - desired)) < 0.02
+
+    def test_weighting_prioritizes_band(self):
+        freqs = np.linspace(0, 0.45, 200)
+        desired = np.where(freqs < 0.2, 1.0, 0.0)
+        weights = np.where(freqs < 0.2, 100.0, 1.0)
+        taps = design_arbitrary_response_ls(24, freqs, desired, weights)
+        resp = fir_response(taps, 1.0, freqs[freqs < 0.18])
+        assert np.allclose(np.abs(resp.magnitude), 1.0, atol=0.05)
+
+    def test_result_is_symmetric_type1(self):
+        freqs = np.linspace(0, 0.4, 64)
+        taps = design_arbitrary_response_ls(20, freqs, np.ones(64))
+        assert len(taps) == 21
+        assert np.allclose(taps, taps[::-1])
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(ValueError):
+            design_arbitrary_response_ls(21, [0.1], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            design_arbitrary_response_ls(20, [0.1, 0.2], [1.0])
+
+
+class TestFIRFixedPoint:
+    @pytest.fixture()
+    def lowpass(self):
+        taps = design_lowpass_remez(48, 0.2, 0.3)
+        return FIRFilterFixedPoint(taps, coefficient_bits=16, data_bits=16,
+                                   label="test FIR")
+
+    def test_fixed_matches_float_within_lsb(self, lowpass, rng):
+        x = rng.integers(-2000, 2000, 512)
+        fixed = np.array([int(v) for v in lowpass.process(x)], dtype=float)
+        ref = lowpass.process_float(x.astype(float))
+        assert np.max(np.abs(fixed - ref)) <= 1.0
+
+    def test_decimating_variant(self, rng):
+        taps = design_lowpass_remez(48, 0.1, 0.2)
+        filt = FIRFilterFixedPoint(taps, decimation=4)
+        x = rng.integers(-100, 100, 400)
+        assert len(filt.process(x)) == 100
+
+    def test_symmetry_detection(self, lowpass):
+        assert lowpass.is_symmetric
+
+    def test_adder_count_less_than_naive(self, lowpass):
+        # Exploiting symmetry and CSD must do better than
+        # taps × coefficient_bits/2 adders of a naive multiplier array.
+        naive = lowpass.n_taps * 8
+        assert 0 < lowpass.adder_count() < naive
+
+    def test_quantized_taps_close_to_original(self, lowpass):
+        assert np.max(np.abs(lowpass.quantized_taps - lowpass.taps)) <= 2 ** -16
+
+    def test_resource_summary_fields(self, lowpass):
+        res = lowpass.resource_summary(40e6)
+        assert res["n_taps"] == 49
+        assert res["slow_clock_hz"] == pytest.approx(40e6)
+        assert res["adders"] == lowpass.adder_count()
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            FIRFilterFixedPoint(np.array([]))
+
+    def test_invalid_decimation_rejected(self):
+        with pytest.raises(ValueError):
+            FIRFilterFixedPoint([1.0, 2.0], decimation=0)
+
+    def test_dc_gain_preserved(self):
+        taps = np.array([0.25, 0.5, 0.25])
+        filt = FIRFilterFixedPoint(taps, coefficient_bits=12)
+        x = np.full(64, 1000, dtype=np.int64)
+        out = filt.process(x)
+        assert abs(int(out[32]) - 1000) <= 1

@@ -1,0 +1,68 @@
+"""Tests for the polyphase decimator reference implementations."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.filters import (
+    PolyphaseDecimator,
+    PolyphaseDecimatorFixedPoint,
+    polyphase_components,
+)
+
+
+class TestPolyphaseComponents:
+    def test_components_partition_taps(self):
+        taps = np.arange(12, dtype=float)
+        comps = polyphase_components(taps, 4)
+        assert len(comps) == 4
+        assert sum(len(c) for c in comps) == 12
+        assert np.array_equal(comps[0], [0, 4, 8])
+
+    def test_invalid_decimation(self):
+        with pytest.raises(ValueError):
+            polyphase_components(np.ones(4), 0)
+
+
+class TestPolyphaseDecimator:
+    @pytest.fixture()
+    def decimator(self):
+        taps = signal.firwin(63, 0.2)
+        return PolyphaseDecimator(taps, 4)
+
+    def test_matches_filter_then_downsample(self, decimator, rng):
+        x = rng.standard_normal(512)
+        direct = signal.lfilter(decimator.taps, [1.0], x)[3::4]
+        assert np.allclose(decimator.process(x), direct)
+
+    def test_polyphase_identity(self, decimator, rng):
+        x = rng.standard_normal(256)
+        assert np.allclose(decimator.process(x), decimator.process_polyphase(x),
+                           atol=1e-12)
+
+    def test_output_length(self, decimator, rng):
+        assert len(decimator.process(rng.standard_normal(400))) == 100
+
+    def test_workload_per_output(self, decimator):
+        assert decimator.workload_per_output() == int(np.ceil(63 / 4))
+
+    def test_unity_decimation_is_plain_filter(self, rng):
+        taps = signal.firwin(31, 0.3)
+        dec = PolyphaseDecimator(taps, 1)
+        x = rng.standard_normal(128)
+        assert np.allclose(dec.process(x), signal.lfilter(taps, [1.0], x))
+
+    def test_invalid_decimation(self):
+        with pytest.raises(ValueError):
+            PolyphaseDecimator(np.ones(8), 0)
+
+
+class TestPolyphaseFixedPoint:
+    def test_matches_float_within_lsb(self, rng):
+        taps = signal.firwin(63, 0.2)
+        fxp = PolyphaseDecimatorFixedPoint(taps, 4, coefficient_bits=16)
+        flt = PolyphaseDecimator(taps, 4)
+        x = rng.integers(-10000, 10000, 512)
+        fixed = np.array([int(v) for v in fxp.process(x)], dtype=float)
+        reference = flt.process(x.astype(float))
+        assert np.max(np.abs(fixed - reference)) <= 1.0

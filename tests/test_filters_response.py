@@ -1,0 +1,103 @@
+"""Tests for frequency-response evaluation and mask checking."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.filters import (
+    FrequencyResponse,
+    alias_bands_for_decimation,
+    default_frequency_grid,
+    fir_frequency_response,
+    group_delay_samples,
+    is_symmetric,
+)
+
+
+@pytest.fixture()
+def lowpass_response():
+    taps = signal.firwin(63, 0.2)
+    freqs = default_frequency_grid(100e6, 2048)
+    return fir_frequency_response(taps, 100e6, freqs, label="test LP"), taps
+
+
+class TestFrequencyResponse:
+    def test_dc_gain_of_unity_filter(self):
+        freqs = np.linspace(0, 50e6, 256)
+        resp = fir_frequency_response([1.0], 100e6, freqs)
+        assert np.allclose(np.abs(resp.magnitude), 1.0)
+
+    def test_magnitude_db_floor(self):
+        resp = FrequencyResponse(np.array([0.0, 1.0]), np.array([0.0, 1.0]), 1.0)
+        assert np.isfinite(resp.magnitude_db).all()
+
+    def test_at_picks_nearest_grid_point(self, lowpass_response):
+        resp, _ = lowpass_response
+        value = resp.at(10e6)
+        idx = np.argmin(np.abs(resp.frequencies_hz - 10e6))
+        assert value == resp.magnitude[idx]
+
+    def test_passband_ripple_small_in_passband(self, lowpass_response):
+        resp, _ = lowpass_response
+        assert resp.passband_ripple_db(7e6) < 1.0
+
+    def test_stopband_attenuation_positive(self, lowpass_response):
+        resp, _ = lowpass_response
+        assert resp.stopband_attenuation_db(20e6) > 40.0
+
+    def test_droop_positive_for_lowpass(self, lowpass_response):
+        resp, _ = lowpass_response
+        assert resp.passband_droop_db(10e6) >= 0.0
+
+    def test_empty_band_raises(self, lowpass_response):
+        resp, _ = lowpass_response
+        with pytest.raises(ValueError):
+            resp.passband_ripple_db(1.0, f_lo=0.5)  # no grid points below 1 Hz
+
+    def test_cascade_with_multiplies_magnitudes(self, lowpass_response):
+        resp, _ = lowpass_response
+        squared = resp.cascade_with(resp)
+        assert np.allclose(np.abs(squared.magnitude), np.abs(resp.magnitude) ** 2)
+
+    def test_cascade_requires_same_grid(self, lowpass_response):
+        resp, taps = lowpass_response
+        other = fir_frequency_response(taps, 100e6, np.linspace(0, 1e6, 7))
+        with pytest.raises(ValueError):
+            resp.cascade_with(other)
+
+    def test_worst_alias_attenuation(self, lowpass_response):
+        resp, _ = lowpass_response
+        bands = [(30e6, 40e6), (45e6, 50e6)]
+        worst = resp.worst_alias_attenuation_db(bands)
+        direct = min(resp.stopband_attenuation_db(*bands[0]),
+                     resp.stopband_attenuation_db(*bands[1]))
+        assert worst == pytest.approx(direct)
+
+
+class TestAliasBands:
+    def test_paper_sinc_cascade_alias_bands(self):
+        bands = alias_bands_for_decimation(8, 80e6, 20e6, 640e6)
+        assert len(bands) == 4  # 80, 160, 240, 320 MHz centres within Nyquist
+        assert bands[0] == (60e6, 100e6)
+        assert bands[-1][1] == pytest.approx(320e6)
+
+    def test_no_bands_for_unity_decimation(self):
+        assert alias_bands_for_decimation(1, 40e6, 20e6) == []
+
+    def test_band_clipping_at_nyquist(self):
+        bands = alias_bands_for_decimation(2, 40e6, 20e6, 80e6)
+        assert bands[0][1] <= 40e6
+
+
+class TestSymmetryHelpers:
+    def test_group_delay(self):
+        assert group_delay_samples([1, 2, 3, 2, 1]) == 2.0
+
+    def test_symmetric_detection(self):
+        assert is_symmetric([1, 2, 3, 2, 1])
+        assert not is_symmetric([1, 2, 3, 4, 5])
+
+    def test_default_grid_covers_nyquist(self):
+        grid = default_frequency_grid(100e6, 11)
+        assert grid[0] == 0.0
+        assert grid[-1] == pytest.approx(50e6)

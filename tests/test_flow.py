@@ -1,0 +1,64 @@
+"""Tests for the one-call design-and-synthesis flow."""
+
+import pytest
+
+from repro.core import ChainDesignOptions
+from repro.flow import (
+    flow_report_text,
+    power_table_markdown,
+    run_design_flow,
+    verification_table_markdown,
+)
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    return run_design_flow(measure_activity=False)
+
+
+class TestRunDesignFlow:
+    def test_default_flow_meets_spec(self, flow_result):
+        assert flow_result.meets_spec
+
+    def test_summary_fields(self, flow_result):
+        summary = flow_result.summary()
+        assert summary["meets_spec"] is True
+        assert summary["design_sinc_orders"] == [4, 4, 6]
+        assert summary["rtl_modules"] == 8
+        assert summary["total_power_mw"] > 0
+        assert summary["total_area_mm2"] > 0
+
+    def test_flow_with_snr_simulation(self):
+        result = run_design_flow(include_snr_simulation=True, snr_samples=16384,
+                                 measure_activity=False)
+        assert result.simulated_snr_db is not None
+        assert result.simulated_snr_db > 75.0
+        assert "simulated_snr_db" in result.summary()
+
+    def test_flow_with_custom_options(self):
+        options = ChainDesignOptions(equalizer_order=32)
+        result = run_design_flow(options=options, measure_activity=False)
+        assert result.chain.equalizer.order == 32
+
+    def test_flow_records_library(self, flow_result):
+        assert "45nm" in flow_result.metadata["library"]
+
+
+class TestReports:
+    def test_text_report_contains_key_sections(self, flow_result):
+        text = flow_report_text(flow_result)
+        assert "Design summary" in text
+        assert "Specification verification" in text
+        assert "Power profile" in text
+        assert "Area report" in text
+        assert "PASS" in text
+
+    def test_power_table_markdown(self, flow_result):
+        table = power_table_markdown(flow_result)
+        assert table.startswith("| Filter Stage |")
+        assert "Total" in table
+
+    def test_verification_table_markdown(self, flow_result):
+        table = verification_table_markdown(flow_result)
+        assert "| Check |" in table
+        assert "PASS" in table

@@ -1,0 +1,64 @@
+"""Tests for resource extraction from the designed chain."""
+
+import pytest
+
+from repro.hardware import DEFAULT_ACTIVITY, extract_chain_resources, resources_from_summary
+from repro.hardware.resources import StageResources
+
+
+class TestResourcesFromSummary:
+    def test_basic_conversion(self):
+        summary = {
+            "label": "Sinc4", "adders": 8, "registers": 13, "register_bits": 104,
+            "word_width": 8, "fast_clock_hz": 640e6, "slow_clock_hz": 320e6,
+            "fast_adders": 4, "slow_adders": 4,
+        }
+        res = resources_from_summary(summary, "sinc", activity=0.4)
+        assert res.fast_adder_bits == 32
+        assert res.slow_adder_bits == 32
+        assert res.total_register_bits == 104
+        assert res.activity == 0.4
+        assert res.kind == "sinc"
+
+    def test_missing_split_defaults_to_slow(self):
+        summary = {"label": "FIR", "adders": 10, "registers": 4, "word_width": 16,
+                   "fast_clock_hz": 40e6, "slow_clock_hz": 40e6}
+        res = resources_from_summary(summary, "fir")
+        assert res.fast_adder_bits == 0
+        assert res.slow_adder_bits == 160
+
+    def test_gate_count_positive(self):
+        res = StageResources("x", "fir", 16, 40e6, 40e6, 0, 160, 0, 64)
+        assert res.equivalent_gate_count > 0
+
+
+class TestExtractChainResources:
+    def test_one_entry_per_stage(self, paper_chain):
+        resources = extract_chain_resources(paper_chain)
+        assert len(resources) == 6
+        assert [r.kind for r in resources] == ["sinc", "sinc", "sinc", "halfband",
+                                               "scaling", "equalizer"]
+
+    def test_sinc_stage_clocks_follow_decimation(self, paper_chain):
+        resources = extract_chain_resources(paper_chain)
+        assert resources[0].fast_clock_hz == pytest.approx(640e6)
+        assert resources[1].fast_clock_hz == pytest.approx(320e6)
+        assert resources[2].fast_clock_hz == pytest.approx(160e6)
+        assert resources[3].fast_clock_hz == pytest.approx(80e6)
+
+    def test_default_activity_applied(self, paper_chain):
+        resources = extract_chain_resources(paper_chain)
+        halfband = [r for r in resources if r.kind == "halfband"][0]
+        assert halfband.activity == DEFAULT_ACTIVITY["halfband"]
+
+    def test_measured_activity_overrides_default(self, paper_chain):
+        resources = extract_chain_resources(paper_chain,
+                                            {"Sinc4 stage 1": 0.77})
+        first = resources[0]
+        assert first.activity == 0.77
+
+    def test_word_widths_grow_along_sinc_cascade(self, paper_chain):
+        resources = extract_chain_resources(paper_chain)
+        widths = [r.word_width for r in resources[:3]]
+        assert widths == sorted(widths)
+        assert widths[0] == 8 and widths[-1] == 18

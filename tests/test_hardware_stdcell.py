@@ -1,0 +1,42 @@
+"""Tests for the standard-cell technology model."""
+
+import pytest
+
+from repro.hardware import GENERIC_45NM, GENERIC_90NM, StandardCellLibrary
+
+
+class TestStandardCellLibrary:
+    def test_default_is_45nm_at_1v1(self):
+        assert GENERIC_45NM.nominal_vdd == 1.1
+        assert "45" in GENERIC_45NM.name
+
+    def test_energy_and_leakage_positive(self):
+        for lib in (GENERIC_45NM, GENERIC_90NM):
+            assert lib.adder_energy_per_bit_fj > 0
+            assert lib.register_energy_per_bit_fj > 0
+            assert lib.adder_leakage_per_bit_nw > 0
+            assert lib.register_leakage_per_bit_nw > 0
+            assert 0 < lib.utilization <= 1.0
+
+    def test_90nm_has_higher_dynamic_energy(self):
+        # Older node: larger capacitances, larger cells, less leakage per gate.
+        assert GENERIC_90NM.adder_energy_per_bit_fj > GENERIC_45NM.adder_energy_per_bit_fj
+        assert GENERIC_90NM.adder_area_per_bit_um2 > GENERIC_45NM.adder_area_per_bit_um2
+        assert GENERIC_90NM.adder_leakage_per_bit_nw < GENERIC_45NM.adder_leakage_per_bit_nw
+
+    def test_voltage_scaling_quadratic_for_dynamic(self):
+        scaled = GENERIC_45NM.scaled_to_vdd(0.55)
+        ratio = scaled.adder_energy_per_bit_fj / GENERIC_45NM.adder_energy_per_bit_fj
+        assert ratio == pytest.approx(0.25, rel=1e-6)
+
+    def test_voltage_scaling_linear_for_leakage(self):
+        scaled = GENERIC_45NM.scaled_to_vdd(0.55)
+        ratio = scaled.adder_leakage_per_bit_nw / GENERIC_45NM.adder_leakage_per_bit_nw
+        assert ratio == pytest.approx(0.5, rel=1e-6)
+
+    def test_voltage_scaling_preserves_area(self):
+        scaled = GENERIC_45NM.scaled_to_vdd(0.9)
+        assert scaled.adder_area_per_bit_um2 == GENERIC_45NM.adder_area_per_bit_um2
+
+    def test_scaled_name_records_voltage(self):
+        assert "0.90" in GENERIC_45NM.scaled_to_vdd(0.9).name

@@ -1,0 +1,45 @@
+"""Tests for the combined synthesis flow / report."""
+
+import pytest
+
+from repro.hardware import GENERIC_90NM, SynthesisFlow
+
+
+class TestSynthesisReport:
+    def test_report_totals(self, synthesis_report):
+        assert 3.0 < synthesis_report.total_power_mw < 15.0
+        assert 0.05 < synthesis_report.total_area_mm2 < 0.3
+
+    def test_power_table_shape(self, synthesis_report):
+        rows = synthesis_report.power_table()
+        labels = [row["Filter Stage"] for row in rows]
+        assert labels[-1] == "Total"
+        assert "Halfband" in labels
+        assert "Equalizer" in labels
+
+    def test_power_distribution_sums_to_one(self, synthesis_report):
+        assert sum(synthesis_report.power_distribution().values()) == pytest.approx(1.0)
+
+    def test_rtl_present_and_nontrivial(self, synthesis_report):
+        assert len(synthesis_report.rtl) == 8
+        assert synthesis_report.rtl_line_count() > 200
+
+    def test_cross_check_resources(self, synthesis_report):
+        comparison = synthesis_report.cross_check_resources()
+        assert len(comparison) >= 5
+        # The Hogenauer stages must agree exactly between the behavioural
+        # model and the generated RTL.
+        for label in ("Sinc4 stage 1", "Sinc4 stage 2", "Sinc6 stage 3"):
+            entry = comparison[label]
+            assert entry["model_adders"] == entry["rtl_adders"]
+
+    def test_measured_activity_recorded_when_enabled(self, paper_chain):
+        report = SynthesisFlow().run(paper_chain, measure_activity=True,
+                                     activity_samples=1024)
+        assert report.metadata["measured_activity"]
+
+    def test_alternative_library(self, paper_chain):
+        report_45 = SynthesisFlow().run(paper_chain, measure_activity=False)
+        report_90 = SynthesisFlow(GENERIC_90NM).run(paper_chain, measure_activity=False)
+        assert report_90.total_area_mm2 > report_45.total_area_mm2
+        assert report_90.power.total_dynamic_mw > report_45.power.total_dynamic_mw
