@@ -3,7 +3,14 @@
 Regenerates the 86 dB / 14-bit figure: the modulator is driven with a
 near-MSA tone, its 4-bit code stream runs through the bit-true decimation
 chain and the SNR of the 14-bit output is measured over the 20 MHz band.
+
+The benchmark runs on the vectorized simulation engine (the default); a
+second test compares the sample throughput of the reference and vectorized
+engines on the same record (typically a 50–100× speed-up) and asserts a
+conservative 5× floor that stays robust on loaded CI runners.
 """
+
+import time
 
 import pytest
 
@@ -30,3 +37,37 @@ def test_end_to_end_snr(benchmark, paper_chain):
     print_series("End-to-end SNR (Table I, decimated output)", ["quantity", "value"], rows)
     assert snr > 80.0
     assert enob > 13.0
+
+
+@pytest.mark.benchmark(group="snr")
+def test_backend_throughput(paper_chain):
+    """Reference vs vectorized sample throughput on the same code stream."""
+    import numpy as np
+
+    from repro.dsm import DeltaSigmaModulator, coherent_tone
+
+    n = 32768
+    modulator = DeltaSigmaModulator()
+    result = modulator.simulate(coherent_tone(2.5e6, 0.7, 640e6, n), engine="fast")
+
+    start = time.perf_counter()
+    ref = paper_chain.process_fixed(result.codes, backend="reference")
+    t_ref = time.perf_counter() - start
+    start = time.perf_counter()
+    vec = paper_chain.process_fixed(result.codes, backend="vectorized")
+    t_vec = time.perf_counter() - start
+    assert np.array_equal(ref, vec)
+
+    speedup = t_ref / t_vec
+    rows = [
+        ("reference backend", f"{n / t_ref / 1e6:.2f} Msamples/s"),
+        ("vectorized backend", f"{n / t_vec / 1e6:.2f} Msamples/s"),
+        ("speed-up", f"{speedup:.0f}x"),
+    ]
+    print_series("Bit-true chain throughput (backend comparison)",
+                 ["engine", "throughput"], rows)
+    # Typical speed-up is 50-100x; the floor is deliberately conservative so
+    # the assertion stays robust on loaded CI runners (single un-warmed
+    # timing pair), while still catching a regression that loses the fast
+    # path entirely.
+    assert speedup > 5.0

@@ -45,7 +45,9 @@ def main() -> None:
     print(flow_report_text(flow))
 
     # ------------------------------------------------------------------
-    # End-to-end bit-true SNR with a longer record (Table I bottom row)
+    # End-to-end bit-true SNR with a longer record (Table I bottom row).
+    # This runs on the vectorized chain backend and the fast modulator
+    # engine by default — bit-exact words, ~30x faster than the reference.
     # ------------------------------------------------------------------
     snr = simulated_output_snr(flow.chain, n_samples=65536)
     print(f"End-to-end bit-true SNR (0.95·MSA tone): {snr:.1f} dB  "

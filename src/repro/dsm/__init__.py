@@ -27,6 +27,7 @@ from repro.dsm.modulator import (
     DeltaSigmaModulator,
     SimulationResult,
     ErrorFeedbackSimulator,
+    FastErrorFeedbackSimulator,
     StateSpaceSimulator,
     simulate_dsm,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "DeltaSigmaModulator",
     "SimulationResult",
     "ErrorFeedbackSimulator",
+    "FastErrorFeedbackSimulator",
     "StateSpaceSimulator",
     "simulate_dsm",
     "ContinuousTimeLoopFilter",

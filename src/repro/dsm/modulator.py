@@ -9,12 +9,22 @@ unity STF) and use it to generate bit-streams, estimate the maximum stable
 amplitude (MSA) and measure SQNR.  The substitution is documented in
 DESIGN.md.
 
-Two simulation engines are provided:
+Three simulation engines are provided:
 
 * :class:`ErrorFeedbackSimulator` — simulates the loop in error-feedback
   form (``y = u - h * e`` with ``h`` the impulse response of ``1 - NTF``).
   This reproduces the exact input/output behaviour of any realization with
   a unity STF and is numerically robust.
+* :class:`FastErrorFeedbackSimulator` — the same error-feedback loop with
+  the filter ``1 - NTF`` evaluated in its exact recursive (IIR) form
+  instead of a truncated 64-tap FIR.  The per-sample work drops from one
+  64-point dot product to ~2·order multiply-adds, making it roughly an
+  order of magnitude faster — this is the engine the fast end-to-end SNR
+  simulation uses (``engine="error-feedback-fast"`` / ``engine="fast"``).
+  Because the quantizer decisions of a chaotic delta-sigma loop are
+  sensitive to rounding, its bit-stream is not sample-identical to the FIR
+  engine's; the noise-shaping statistics (SQNR, spectra, MSA) agree, which
+  the tests verify.
 * :class:`StateSpaceSimulator` — simulates the loop filter
   ``L1(z) = 1/NTF(z) - 1`` as a direct-form state space, providing access to
   internal state trajectories (used for MSA/stability analysis, mirroring
@@ -119,6 +129,80 @@ class ErrorFeedbackSimulator:
         )
 
 
+class FastErrorFeedbackSimulator:
+    """Error-feedback simulation with the loop filter in recursive form.
+
+    The feedback filter ``G(z) = 1 - NTF(z) = (a(z) - b(z)) / a(z)`` is
+    strictly proper (the NTF is monic), so the loop stays causal.  It is
+    evaluated sample-by-sample in transposed direct form II, which costs
+    ``2·order`` multiply-adds per sample instead of the reference engine's
+    64-point dot product — and, unlike the FIR engine, realizes the NTF
+    *exactly* rather than through a truncated impulse response.  The inner
+    loop runs on Python scalars (no per-sample numpy dispatch), which is
+    where the ~10× speed-up comes from.
+    """
+
+    INSTABILITY_THRESHOLD = 8.0
+
+    def __init__(self, ntf: NoiseTransferFunction, quantizer: MultibitQuantizer) -> None:
+        self.ntf = ntf
+        self.quantizer = quantizer
+        b_ntf, a_ntf = ntf.as_tf()
+        num = np.polysub(a_ntf, b_ntf)
+        if abs(num[0]) > 1e-9:
+            raise ValueError("NTF must be monic (leading impulse sample of 1)")
+        # Align numerator and (monic) denominator to the same length.
+        order = len(a_ntf) - 1
+        padded = np.zeros(order + 1)
+        padded[order + 1 - len(num):] = num
+        self._num = [float(v) for v in padded]
+        self._den = [float(v) for v in a_ntf]
+
+    def simulate(self, u: np.ndarray) -> SimulationResult:
+        """Run the loop on the input sequence ``u`` (values within ±1)."""
+        u = np.asarray(u, dtype=float)
+        n = len(u)
+        order = len(self._den) - 1
+        num = self._num
+        den = self._den
+        states = [0.0] * order
+        output = np.empty(n)
+        quantizer_input = np.empty(n)
+        codes = np.empty(n, dtype=int)
+        stable = True
+        full_scale = self.quantizer.full_scale
+        step = self.quantizer.step
+        top_code = self.quantizer.levels - 1
+        limit = self.INSTABILITY_THRESHOLD * full_scale
+        for i, ui in enumerate(u.tolist()):
+            # DF2T output of G(z); num[0] == 0, so only the first state.
+            feedback = states[0]
+            y = ui - feedback
+            # Inline scalar quantization (same rounding as MultibitQuantizer).
+            code = round((y + full_scale) / step)
+            if code < 0:
+                code = 0
+            elif code > top_code:
+                code = top_code
+            v = code * step - full_scale
+            e = v - y
+            for j in range(order - 1):
+                states[j] = num[j + 1] * e + states[j + 1] - den[j + 1] * feedback
+            states[order - 1] = num[order] * e - den[order] * feedback
+            output[i] = v
+            quantizer_input[i] = y
+            codes[i] = code
+            if y > limit or y < -limit:
+                stable = False
+        return SimulationResult(
+            output=output,
+            codes=codes,
+            quantizer_input=quantizer_input,
+            stable=stable,
+            metadata={"engine": "error-feedback-fast", "order": order},
+        )
+
+
 class StateSpaceSimulator:
     """State-space simulation of the loop filter ``L1(z) = 1/NTF - 1``.
 
@@ -202,6 +286,7 @@ class DeltaSigmaModulator:
         if self.quantizer is None:
             self.quantizer = MultibitQuantizer(bits=self.quantizer_bits)
         self._simulator = ErrorFeedbackSimulator(self.ntf, self.quantizer)
+        self._fast_simulator: Optional[FastErrorFeedbackSimulator] = None
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -220,9 +305,19 @@ class DeltaSigmaModulator:
     # Simulation
     # ------------------------------------------------------------------
     def simulate(self, u: np.ndarray, engine: str = "error-feedback") -> SimulationResult:
-        """Simulate the modulator on an input sequence (values within ±1)."""
+        """Simulate the modulator on an input sequence (values within ±1).
+
+        ``engine`` selects the simulation backend: ``"error-feedback"``
+        (reference), ``"error-feedback-fast"`` / ``"fast"`` (recursive loop
+        filter, ~10× faster; used by the fast end-to-end SNR path) or
+        ``"state-space"`` (records internal state trajectories).
+        """
         if engine == "error-feedback":
             return self._simulator.simulate(u)
+        if engine in ("error-feedback-fast", "fast"):
+            if self._fast_simulator is None:
+                self._fast_simulator = FastErrorFeedbackSimulator(self.ntf, self.quantizer)
+            return self._fast_simulator.simulate(u)
         if engine == "state-space":
             return StateSpaceSimulator(self.ntf, self.quantizer).simulate(u)
         raise ValueError(f"unknown simulation engine {engine!r}")

@@ -72,7 +72,9 @@ from repro.filters.polyphase import (
     PolyphaseDecimator,
     PolyphaseDecimatorFixedPoint,
     polyphase_components,
+    convolve_strided_matmul,
 )
+from repro.filters.streaming import StreamingFIRDecimator
 from repro.filters.cascade import (
     CascadeStageDescription,
     MultirateCascade,
@@ -119,6 +121,8 @@ __all__ = [
     "PolyphaseDecimator",
     "PolyphaseDecimatorFixedPoint",
     "polyphase_components",
+    "convolve_strided_matmul",
+    "StreamingFIRDecimator",
     "CascadeStageDescription",
     "MultirateCascade",
     "FarrowRateConverter",

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import signal
 
+from repro.filters.polyphase import convolve_strided_matmul, resolve_int_backend
 from repro.filters.response import FrequencyResponse, default_frequency_grid
 from repro.fixedpoint.csd import CSDCode, encode_coefficients
 
@@ -101,6 +102,13 @@ class FIRFilterFixedPoint:
     output, matching the synthesized datapath.  Symmetry of the impulse
     response is exploited for the adder count (pre-addition of the two
     samples sharing a coefficient), as the paper's implementation does.
+
+    :meth:`process` accepts ``backend="reference"|"vectorized"|"auto"``:
+    the reference path runs the convolution in arbitrary-precision Python
+    integers, the vectorized path evaluates only the decimated outputs via
+    a strided-window matmul (polyphase identity) in ``int64``.  The two are
+    bit-exact; ``"auto"`` picks the vectorized engine whenever the
+    accumulator provably fits ``int64``.
     """
 
     taps: np.ndarray
@@ -121,6 +129,7 @@ class FIRFilterFixedPoint:
         scale = 1 << self.coefficient_bits
         self._int_taps = np.array([int(round(float(c.value) * scale))
                                    for c in self.csd_codes], dtype=object)
+        self._abs_tap_sum = int(sum(abs(int(t)) for t in self._int_taps))
         self.quantized_taps = np.array([c.value for c in self.csd_codes])
 
     @property
@@ -138,15 +147,30 @@ class FIRFilterFixedPoint:
     # ------------------------------------------------------------------
     # Processing
     # ------------------------------------------------------------------
-    def process(self, samples: np.ndarray) -> np.ndarray:
-        """Filter (and optionally decimate) a block of integer samples."""
-        ints = np.array([int(v) for v in np.asarray(samples).tolist()], dtype=object)
-        full = np.convolve(ints, self._int_taps)
+    def process(self, samples: np.ndarray, backend: str = "auto") -> np.ndarray:
+        """Filter (and optionally decimate) a block of integer samples.
+
+        ``backend`` selects the engine (see the class docstring); both
+        engines return bit-identical values, differing only in array dtype
+        (``int64`` vectorized, object reference).
+        """
+        samples = np.asarray(samples)
+        if len(samples) == 0:
+            return np.zeros(0, dtype=np.int64)
+        backend = resolve_int_backend(samples, self._abs_tap_sum, backend)
         delay = self.order // 2
+        half = 1 << (self.coefficient_bits - 1)
+        if backend == "vectorized":
+            count = -(-len(samples) // self.decimation)
+            aligned = convolve_strided_matmul(
+                samples.astype(np.int64), self._int_taps.astype(np.int64),
+                offset=delay, step=self.decimation, count=count)
+            return (aligned + half) >> self.coefficient_bits
+        ints = np.array([int(v) for v in samples.tolist()], dtype=object)
+        full = np.convolve(ints, self._int_taps)
         aligned = full[delay:delay + len(ints)]
         if self.decimation > 1:
             aligned = aligned[::self.decimation]
-        half = 1 << (self.coefficient_bits - 1)
         return np.array([(int(v) + half) >> self.coefficient_bits for v in aligned],
                         dtype=object)
 

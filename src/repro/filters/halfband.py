@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import signal
 
+from repro.filters.polyphase import convolve_strided_matmul, resolve_int_backend
 from repro.filters.response import FrequencyResponse, default_frequency_grid
 from repro.fixedpoint.csd import CSDCode, encode_coefficients
 
@@ -444,6 +445,12 @@ class HalfbandDecimator:
     built from adders (captured by the resource model), not the arithmetic
     result, so the equivalent-FIR computation is bit-exact with respect to
     the hardware.
+
+    :meth:`process` accepts ``backend="reference"|"vectorized"|"auto"``:
+    the vectorized engine computes only the kept (even) output phase through
+    a strided-window matmul in ``int64`` (exact while the accumulator fits,
+    which ``"auto"`` checks); the reference engine keeps the original
+    arbitrary-precision integer convolution.  Both are bit-exact.
     """
 
     def __init__(self, filter_design: SaramakiHalfband, data_bits: int = 16,
@@ -454,28 +461,40 @@ class HalfbandDecimator:
         taps = filter_design.equivalent_fir()
         scale = 1 << coefficient_bits
         self._int_taps = np.array([int(round(t * scale)) for t in taps], dtype=object)
+        self._abs_tap_sum = int(sum(abs(int(t)) for t in self._int_taps))
         self._taps_float = taps
 
     @property
     def n_taps(self) -> int:
         return len(self._int_taps)
 
-    def process(self, samples: np.ndarray) -> np.ndarray:
+    def process(self, samples: np.ndarray, backend: str = "auto") -> np.ndarray:
         """Filter and decimate by 2 a block of integer samples.
 
         The output keeps the input word scaling: the accumulated
         ``coefficient_bits`` fractional bits of the products are rounded away
-        at the output, exactly as the fixed-point hardware does.
+        at the output, exactly as the fixed-point hardware does.  ``backend``
+        selects the engine (see the class docstring); results are
+        bit-identical, differing only in dtype (``int64`` vs object).
         """
         samples = np.asarray(samples)
+        if len(samples) == 0:
+            return np.zeros(0, dtype=np.int64)
+        backend = resolve_int_backend(samples, self._abs_tap_sum, backend)
+        delay = (self.n_taps - 1) // 2
+        half = 1 << (self.coefficient_bits - 1)
+        if backend == "vectorized":
+            count = (len(samples) + 1) // 2
+            decimated = convolve_strided_matmul(
+                samples.astype(np.int64), self._int_taps.astype(np.int64),
+                offset=delay, step=2, count=count)
+            return (decimated + half) >> self.coefficient_bits
         ints = np.array([int(v) for v in samples.tolist()], dtype=object)
         full = np.convolve(ints, self._int_taps)
         # Align to the filter's group delay so the output is the centred,
         # linear-phase filtered sequence, then decimate by 2.
-        delay = (self.n_taps - 1) // 2
         aligned = full[delay:delay + len(ints)]
         decimated = aligned[::2]
-        half = 1 << (self.coefficient_bits - 1)
         rounded = np.array([(int(v) + half) >> self.coefficient_bits for v in decimated],
                            dtype=object)
         return rounded

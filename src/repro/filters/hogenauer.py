@@ -16,6 +16,29 @@ are modelled because they matter for the power estimate:
 
 Functionally both optimizations only add latency; the bit-true output is
 unchanged, which the test suite verifies.
+
+Simulation backends
+-------------------
+Two engines produce bit-identical outputs:
+
+* ``backend="reference"`` — the original sample-by-sample simulation of the
+  register-transfer structure.  It is the gold model, it carries the
+  toggle-counting trace used by the switching-activity power estimation
+  (``collect_trace=True``), and it works for arbitrary register widths.
+* ``backend="vectorized"`` — a numpy fast path: the K integrators are K
+  cumulative sums, the rate change is a strided slice, and the K combs are
+  vectorized first differences.  All arithmetic runs in ``uint64`` (i.e.
+  modulo 2**64); because every operation is an addition or subtraction, the
+  results stay congruent to the reference modulo ``2**width``, so the final
+  wrap to the register width reproduces the wrap-around two's-complement
+  hardware exactly.  Available for register widths up to 62 bits.
+* ``backend="auto"`` (default) — picks the vectorized engine whenever it is
+  applicable (width small enough, no trace requested) and falls back to the
+  reference otherwise.
+
+Both engines share the streaming state (integrators, comb delays, phase), so
+blocks may be fed through different backends and still continue the same
+simulation.
 """
 
 from __future__ import annotations
@@ -25,8 +48,44 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.filters.polyphase import max_abs_int
 from repro.filters.sinc import SincFilter, SincFilterSpec
 from repro.fixedpoint.word import wrap_twos_complement
+
+#: Widest register for which the vectorized engine (and plain int64 output
+#: arrays) can be used; wider words fall back to Python integers.
+_MAX_INT64_WIDTH = 62
+
+_MASK64 = (1 << 64) - 1
+
+
+def _resolve_backend(backend: Optional[str], default: str, width: int,
+                     collect_trace: bool) -> str:
+    """Resolve a backend request to a concrete engine name.
+
+    ``auto`` selects the vectorized engine when the register width permits
+    and no switching-activity trace was requested; an explicit
+    ``"vectorized"`` request raises when it cannot be honoured bit-true.
+    """
+    choice = backend or default
+    if choice == "auto":
+        if collect_trace or width > _MAX_INT64_WIDTH:
+            return "reference"
+        return "vectorized"
+    if choice == "vectorized":
+        if collect_trace:
+            raise ValueError("switching-activity tracing requires "
+                             "backend='reference' (the power model's path)")
+        if width > _MAX_INT64_WIDTH:
+            raise ValueError(
+                f"vectorized backend supports register widths up to "
+                f"{_MAX_INT64_WIDTH} bits (got {width}); use the reference "
+                f"backend")
+        return "vectorized"
+    if choice == "reference":
+        return "reference"
+    raise ValueError(f"unknown backend {choice!r}; "
+                     "expected 'auto', 'reference' or 'vectorized'")
 
 
 @dataclass
@@ -37,6 +96,9 @@ class HogenauerConfig:
     pipelined: bool = True
     #: Extra guard bits on top of Eq. (2); zero reproduces the paper.
     guard_bits: int = 0
+    #: Default simulation engine: ``"auto"``, ``"reference"`` or
+    #: ``"vectorized"`` (see the module docstring).
+    backend: str = "auto"
 
 
 @dataclass
@@ -60,9 +122,25 @@ class HogenauerTrace:
 
 def _count_toggles(previous: np.ndarray, current: np.ndarray, width: int) -> int:
     """Number of bit transitions between two equal-length integer vectors."""
+    previous = np.asarray(previous)
+    current = np.asarray(current)
+    if width <= _MAX_INT64_WIDTH and previous.dtype != object and current.dtype != object:
+        # int64 fast path: xor in native integers, popcount via unpackbits.
+        mask = np.int64((1 << width) - 1)
+        xor = (previous.astype(np.int64) ^ current.astype(np.int64)) & mask
+        as_bytes = xor.astype(np.uint64).view(np.uint8)
+        return int(np.unpackbits(as_bytes).sum())
     mask = (1 << width) - 1
     xor = (previous.astype(object) ^ current.astype(object)) & mask
     return int(sum(bin(int(v)).count("1") for v in xor))
+
+
+def _toggle_count_series(values: np.ndarray, initial: int, width: int) -> int:
+    """Total bit transitions along a node's value sequence (initial → values)."""
+    if len(values) == 0:
+        return 0
+    previous = np.concatenate(([initial], values[:-1]))
+    return _count_toggles(previous, np.asarray(values), width)
 
 
 class HogenauerDecimator:
@@ -72,6 +150,11 @@ class HogenauerDecimator:
     wide) and produces integer samples of ``register_bits`` width.  The DC
     gain is ``M**K``; callers that need unity gain divide by
     ``2**(K*log2(M))`` afterwards (the chain keeps track of this scaling).
+
+    :meth:`process` accepts a ``backend`` argument selecting between the
+    sample-by-sample reference engine and the bit-identical vectorized
+    engine (see the module docstring); the default follows
+    ``HogenauerConfig.backend``.
     """
 
     def __init__(self, spec: SincFilterSpec, config: Optional[HogenauerConfig] = None) -> None:
@@ -92,7 +175,8 @@ class HogenauerDecimator:
     # ------------------------------------------------------------------
     # Streaming interface
     # ------------------------------------------------------------------
-    def process(self, samples: np.ndarray, collect_trace: bool = False) -> np.ndarray:
+    def process(self, samples: np.ndarray, collect_trace: bool = False,
+                backend: Optional[str] = None) -> np.ndarray:
         """Filter and decimate a block of integer input samples.
 
         Parameters
@@ -101,7 +185,13 @@ class HogenauerDecimator:
             Integer input samples; values must fit in ``input_bits`` signed
             bits (they are wrapped otherwise, as real hardware would).
         collect_trace:
-            Record per-node toggle counts for the power model (slower).
+            Record per-node toggle counts for the power model (slower;
+            forces the reference engine, which is the path the
+            switching-activity estimation is calibrated against).
+        backend:
+            ``"auto"``, ``"reference"`` or ``"vectorized"``; ``None`` uses
+            ``self.config.backend``.  Both engines are bit-exact and share
+            the streaming state.
 
         Returns
         -------
@@ -109,9 +199,16 @@ class HogenauerDecimator:
             Integer output samples at ``input_rate / M``.
         """
         samples = np.asarray(samples)
-        if not np.issubdtype(samples.dtype, np.integer):
+        if samples.dtype != object and not np.issubdtype(samples.dtype, np.integer):
             raise TypeError("HogenauerDecimator processes integer samples; "
                             "quantize the input first")
+        engine = _resolve_backend(backend, self.config.backend, self.width,
+                                  collect_trace)
+        if engine == "vectorized":
+            return self._process_vectorized(samples)
+        return self._process_reference(samples, collect_trace)
+
+    def _process_reference(self, samples: np.ndarray, collect_trace: bool) -> np.ndarray:
         k = self.spec.order
         m = self.spec.decimation
         width = self.width
@@ -119,27 +216,23 @@ class HogenauerDecimator:
         integrators = self._integrators
         comb_delays = self._comb_delays
         phase = self._phase
-        prev_nodes = None
+        # Node-value histories for the (vectorized) toggle counting; the
+        # per-node previous values reset to 0 at each call, matching the
+        # original per-call trace semantics.
+        node_history: Optional[List[List[int]]] = None
         if collect_trace:
-            prev_nodes = [0] * (2 * k + 1)
+            node_history = [[] for _ in range(2 * k)]
 
         for raw in samples.tolist():
             value = wrap_twos_complement(int(raw), width)
             # Integrator cascade at the input rate.  The retiming register in
             # each accumulator only affects glitch power, not the transfer
             # function, so the functional model is the plain accumulation.
-            node_values = []
             for i in range(k):
                 integrators[i] = wrap_twos_complement(integrators[i] + value, width)
                 value = integrators[i]
-                node_values.append(value)
-            if collect_trace:
-                for i in range(k):
-                    self.trace.toggles[f"integrator{i}"] = self.trace.toggles.get(
-                        f"integrator{i}", 0) + _count_toggles(
-                        np.array([prev_nodes[i]]), np.array([node_values[i]]), width)
-                    prev_nodes[i] = node_values[i]
-                self.trace.samples += 1
+                if collect_trace:
+                    node_history[i].append(value)
             phase += 1
             if phase < m:
                 continue
@@ -147,45 +240,117 @@ class HogenauerDecimator:
             # Pipeline register between the fast and slow sections.
             self._pipeline_register = value
             diff_value = self._pipeline_register
-            diff_nodes = []
             for i in range(k):
                 new_value = wrap_twos_complement(diff_value - comb_delays[i], width)
                 comb_delays[i] = diff_value
                 diff_value = new_value
-                diff_nodes.append(diff_value)
-            if collect_trace:
-                for i in range(k):
-                    idx = k + i
-                    self.trace.toggles[f"comb{i}"] = self.trace.toggles.get(
-                        f"comb{i}", 0) + _count_toggles(
-                        np.array([prev_nodes[idx]]), np.array([diff_nodes[i]]), width)
-                    prev_nodes[idx] = diff_nodes[i]
+                if collect_trace:
+                    node_history[k + i].append(diff_value)
             outputs.append(diff_value)
+
+        if collect_trace:
+            self.trace.samples += len(samples)
+            for i in range(k):
+                for node, history in ((f"integrator{i}", node_history[i]),
+                                      (f"comb{i}", node_history[k + i])):
+                    values = np.array(history, dtype=object if width > _MAX_INT64_WIDTH
+                                      else np.int64)
+                    self.trace.toggles[node] = self.trace.toggles.get(node, 0) + \
+                        _toggle_count_series(values, 0, width)
 
         self._integrators = integrators
         self._comb_delays = comb_delays
         self._phase = phase
-        return np.array(outputs, dtype=object if self.width > 62 else np.int64)
+        return np.array(outputs, dtype=object if width > _MAX_INT64_WIDTH else np.int64)
+
+    def _process_vectorized(self, samples: np.ndarray) -> np.ndarray:
+        """Cumsum/strided-slice evaluation, bit-exact to the reference.
+
+        All additions run modulo 2**64 in ``uint64``; since the reference
+        only ever wraps (never saturates), every intermediate value is
+        congruent modulo ``2**width`` and the single final wrap recovers the
+        exact register contents.
+        """
+        k = self.spec.order
+        m = self.spec.decimation
+        width = self.width
+        n = len(samples)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if samples.dtype == object:
+            # Arbitrary-precision inputs are wrapped to the register width up
+            # front — the reference engine does the same before accumulating,
+            # so this is exact (and the wrapped values fit int64).
+            samples = np.array([wrap_twos_complement(int(v), width)
+                                for v in samples.tolist()], dtype=np.int64)
+        x = samples.astype(np.int64).astype(np.uint64)
+
+        # K integrators = K cumulative sums with carried-in register state.
+        for i in range(k):
+            x = np.cumsum(x, dtype=np.uint64)
+            x += np.uint64(self._integrators[i] & _MASK64)
+            self._integrators[i] = wrap_twos_complement(int(x[-1]), width)
+
+        # Rate change: the reference emits at samples where the running phase
+        # counter reaches M.
+        start = (m - 1 - self._phase) % m
+        dec = x[start::m]
+        self._phase = (self._phase + n) % m
+        if len(dec) == 0:
+            return np.zeros(0, dtype=np.int64)
+        self._pipeline_register = wrap_twos_complement(int(dec[-1]), width)
+
+        # K combs = vectorized first differences with carried-in delays.
+        for i in range(k):
+            previous = np.empty_like(dec)
+            previous[0] = np.uint64(self._comb_delays[i] & _MASK64)
+            previous[1:] = dec[:-1]
+            self._comb_delays[i] = wrap_twos_complement(int(dec[-1]), width)
+            dec = dec - previous
+
+        # Single final wrap to the register width.
+        modulus = 1 << width
+        wrapped = dec & np.uint64(modulus - 1)
+        out = wrapped.astype(np.int64)
+        out[wrapped >= np.uint64(modulus >> 1)] -= modulus
+        return out
 
     # ------------------------------------------------------------------
     # Reference / verification helpers
     # ------------------------------------------------------------------
     def reference_output(self, samples: np.ndarray) -> np.ndarray:
-        """Polyphase FIR reference computed in unbounded integer arithmetic.
+        """Polyphase FIR reference computed in exact integer arithmetic.
 
         Convolving the input with the boxcar^K impulse response and keeping
         every M-th sample must produce exactly the same values as the
         wrap-around Hogenauer structure (after wrapping to the register
-        width); the tests use this as the gold model.
+        width); the tests use this as the gold model.  The convolution runs
+        in ``int64`` when the exact partial sums provably fit (the common
+        case) and falls back to arbitrary-precision Python integers
+        otherwise.
         """
-        taps = SincFilter(self.spec).impulse_response(normalized=False).astype(object)
-        taps = np.array([int(t) for t in taps], dtype=object)
-        samples = np.array([int(s) for s in np.asarray(samples).tolist()], dtype=object)
-        full = np.convolve(samples, taps)
+        taps = SincFilter(self.spec).impulse_response(normalized=False)
+        samples = np.asarray(samples)
+        tap_sum = int(round(float(np.sum(taps))))  # = M**K, all taps positive
+        if samples.dtype != object and np.issubdtype(samples.dtype, np.integer):
+            max_abs = max_abs_int(samples.astype(np.int64))
+        else:
+            max_abs = max((abs(int(v)) for v in samples.tolist()), default=0)
+        int64_safe = (self.width <= _MAX_INT64_WIDTH
+                      and tap_sum * max_abs < (1 << _MAX_INT64_WIDTH))
+        if int64_safe:
+            full = np.convolve(samples.astype(np.int64),
+                               np.round(taps).astype(np.int64))
+        else:
+            int_taps = np.array([int(round(float(t))) for t in taps], dtype=object)
+            obj = np.array([int(v) for v in samples.tolist()], dtype=object)
+            full = np.convolve(obj, int_taps)
         decimated = full[self.spec.decimation - 1::self.spec.decimation]
         decimated = decimated[:max(0, (len(samples)) // self.spec.decimation)]
+        if int64_safe:
+            return wrap_twos_complement(decimated, self.width).astype(np.int64)
         return np.array([wrap_twos_complement(int(v), self.width) for v in decimated],
-                        dtype=object if self.width > 62 else np.int64)
+                        dtype=object if self.width > _MAX_INT64_WIDTH else np.int64)
 
     # ------------------------------------------------------------------
     # Hardware accounting (consumed by repro.hardware)
@@ -236,17 +401,22 @@ class HogenauerCascade:
         for stage in self.stages:
             stage.reset()
 
-    def process(self, samples: np.ndarray, collect_trace: bool = False) -> np.ndarray:
+    def process(self, samples: np.ndarray, collect_trace: bool = False,
+                backend: Optional[str] = None) -> np.ndarray:
+        """Run a block through every stage (``backend`` as in the stages)."""
         data = np.asarray(samples)
         for stage in self.stages:
-            data = stage.process(data, collect_trace=collect_trace)
+            data = stage.process(data, collect_trace=collect_trace, backend=backend)
             if self.rescale:
                 shift = stage.spec.output_bits - stage.spec.input_bits
                 if shift > 0:
                     # Divide by the DC gain (2**shift) with rounding toward
                     # negative infinity (arithmetic shift, as hardware does).
-                    data = np.array([int(v) >> shift for v in data.tolist()],
-                                    dtype=np.int64)
+                    if data.dtype == object:
+                        data = np.array([int(v) >> shift for v in data.tolist()],
+                                        dtype=np.int64)
+                    else:
+                        data = data >> shift
         return data
 
     @property

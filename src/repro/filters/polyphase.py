@@ -11,6 +11,14 @@ This module provides a generic polyphase FIR decimator (floating point and
 bit-true integer variants) used by the ablation benchmarks (single-stage vs
 multistage comparison) and as an independent reference implementation for
 the halfband and equalizer stages.
+
+It also hosts the vectorized engine shared by every FIR-shaped stage of the
+chain (:func:`convolve_strided_matmul`): the decimated convolution is
+evaluated by assembling a strided window matrix (a zero-copy reshape of the
+delay line) and taking one matrix-vector product, which is exactly the
+polyphase identity "only every M-th output is computed" expressed as a
+matmul.  On integer inputs the product is computed in ``int64`` and is exact
+as long as the accumulator provably fits, which the callers check.
 """
 
 from __future__ import annotations
@@ -19,6 +27,60 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+#: Accumulators are considered int64-safe below this magnitude bound.
+INT64_SAFE_BOUND = 1 << 62
+
+
+def max_abs_int(samples: np.ndarray) -> int:
+    """Largest absolute value of an integer array, exact for ``-2**63``.
+
+    ``np.abs`` overflows on the most negative int64 (it maps back to
+    itself), so the magnitude is taken from the extrema in Python integers
+    instead.
+    """
+    if len(samples) == 0:
+        return 0
+    return max(int(samples.max()), -int(samples.min()), 0)
+
+
+def int64_accumulator_safe(samples: np.ndarray, abs_multiplier_sum: int) -> bool:
+    """Whether a sum of products of ``samples`` with multipliers of total
+    absolute magnitude ``abs_multiplier_sum`` provably fits ``int64``.
+
+    The shared guard behind every ``backend="auto"`` decision: object-dtype
+    or float inputs are never int64-safe, integer inputs are safe when the
+    worst-case accumulator ``abs_multiplier_sum * max|x|`` stays below
+    :data:`INT64_SAFE_BOUND`.
+    """
+    if samples.dtype == object or not np.issubdtype(samples.dtype, np.integer):
+        return False
+    return abs_multiplier_sum * max_abs_int(samples) < INT64_SAFE_BOUND
+
+
+def resolve_int_backend(samples: np.ndarray, abs_multiplier_sum: int,
+                        backend: str) -> str:
+    """Resolve a FIR-stage ``backend`` request to a concrete engine.
+
+    ``"auto"`` picks ``"vectorized"`` exactly when
+    :func:`int64_accumulator_safe` holds; an explicit ``"vectorized"``
+    request on unsafe input raises (the caller must use the exact
+    reference path), as does an unknown backend name.  Shared by every
+    bit-true FIR-shaped stage so the dispatch rules stay in one place.
+    """
+    safe = int64_accumulator_safe(samples, abs_multiplier_sum)
+    if backend == "auto":
+        return "vectorized" if safe else "reference"
+    if backend == "vectorized":
+        if not safe:
+            raise ValueError("accumulator may overflow int64; use the "
+                             "reference backend")
+        return backend
+    if backend == "reference":
+        return backend
+    raise ValueError(f"unknown backend {backend!r}; "
+                     "expected 'auto', 'reference' or 'vectorized'")
 
 
 def polyphase_components(taps: np.ndarray, decimation: int) -> List[np.ndarray]:
@@ -32,6 +94,49 @@ def polyphase_components(taps: np.ndarray, decimation: int) -> List[np.ndarray]:
     if decimation < 1:
         raise ValueError("decimation must be at least 1")
     return [taps[p::decimation].copy() for p in range(decimation)]
+
+
+def convolve_strided_matmul(samples: np.ndarray, taps: np.ndarray,
+                            offset: int = 0, step: int = 1,
+                            count: Optional[int] = None) -> np.ndarray:
+    """Strided samples of ``np.convolve(samples, taps)`` via reshape + matmul.
+
+    Returns ``full[offset], full[offset + step], …`` (``count`` values) of
+    the full linear convolution, computed by building the strided window
+    matrix ``W[j] = padded[offset + j*step : offset + j*step + L]`` — a
+    zero-copy view — and evaluating one matrix-vector product
+    ``W @ taps[::-1]``.  Only the requested outputs are computed, which is
+    the polyphase-decimator work saving (``len(taps)/step`` multiplies per
+    output).
+
+    ``count`` defaults to every index below ``len(samples)`` (the block
+    semantics used throughout the chain: "filter then keep every step-th
+    sample", discarding the convolution tail).  The dtype follows numpy
+    promotion: integer inputs stay integer (exact if the accumulator fits
+    the dtype), float inputs produce floats.
+    """
+    x = np.asarray(samples)
+    t = np.asarray(taps)
+    if t.ndim != 1 or len(t) == 0:
+        raise ValueError("taps must be a non-empty 1-D array")
+    if step < 1:
+        raise ValueError("step must be at least 1")
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    n = len(x)
+    length = len(t)
+    if count is None:
+        count = max(0, -(-(n - offset) // step))
+    if count == 0:
+        return np.zeros(0, dtype=np.result_type(x, t))
+    last = offset + (count - 1) * step
+    # Left-pad by L-1 so window i starts at full-convolution index i; right-pad
+    # so the last requested window exists (np.convolve's implicit zeros).
+    pad_right = max(0, last - (n - 1))
+    padded = np.concatenate([np.zeros(length - 1, dtype=x.dtype), x,
+                             np.zeros(pad_right, dtype=x.dtype)])
+    windows = sliding_window_view(padded, length)[offset:last + 1:step]
+    return windows @ t[::-1]
 
 
 @dataclass
@@ -83,6 +188,17 @@ class PolyphaseDecimator:
             result += filtered
         return result
 
+    def process_matmul(self, samples: np.ndarray) -> np.ndarray:
+        """Same result as :meth:`process` through the strided-window matmul.
+
+        This is the vectorized engine the bit-true stages use; exposed here
+        so the tests can verify the identity on the floating-point model
+        too.
+        """
+        x = np.asarray(samples, dtype=float)
+        return convolve_strided_matmul(x, self.taps, offset=self.decimation - 1,
+                                       step=self.decimation)
+
     def workload_per_output(self) -> int:
         """Multiply operations needed per output sample (len(taps)/M rounded up)."""
         return int(np.ceil(len(self.taps) / self.decimation))
@@ -90,7 +206,13 @@ class PolyphaseDecimator:
 
 @dataclass
 class PolyphaseDecimatorFixedPoint:
-    """Bit-true integer polyphase decimator with quantized coefficients."""
+    """Bit-true integer polyphase decimator with quantized coefficients.
+
+    ``backend="vectorized"`` (the ``"auto"`` default when the accumulator
+    provably fits ``int64``) evaluates the decimated convolution with
+    :func:`convolve_strided_matmul`; ``backend="reference"`` keeps the
+    original arbitrary-precision integer path.  Both are bit-exact.
+    """
 
     taps: np.ndarray
     decimation: int
@@ -101,9 +223,20 @@ class PolyphaseDecimatorFixedPoint:
         self.taps = np.asarray(self.taps, dtype=float)
         scale = 1 << self.coefficient_bits
         self._int_taps = np.array([int(round(t * scale)) for t in self.taps], dtype=object)
+        self._abs_tap_sum = int(sum(abs(int(t)) for t in self._int_taps))
 
-    def process(self, samples: np.ndarray) -> np.ndarray:
-        ints = np.array([int(v) for v in np.asarray(samples).tolist()], dtype=object)
+    def process(self, samples: np.ndarray, backend: str = "auto") -> np.ndarray:
+        samples = np.asarray(samples)
+        if len(samples) == 0:
+            return np.zeros(0, dtype=np.int64)
+        backend = resolve_int_backend(samples, self._abs_tap_sum, backend)
+        if backend == "vectorized":
+            full = convolve_strided_matmul(
+                samples.astype(np.int64), self._int_taps.astype(np.int64),
+                offset=self.decimation - 1, step=self.decimation)
+            half = 1 << (self.coefficient_bits - 1)
+            return (full + half) >> self.coefficient_bits
+        ints = np.array([int(v) for v in samples.tolist()], dtype=object)
         full = np.convolve(ints, self._int_taps)
         selected = full[self.decimation - 1:len(ints):self.decimation]
         half = 1 << (self.coefficient_bits - 1)

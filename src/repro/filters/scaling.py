@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.filters.polyphase import resolve_int_backend
 from repro.fixedpoint.csd import CSDCode, to_csd, csd_multiply_int
 from repro.fixedpoint.horner import HornerStep, horner_decomposition, horner_adder_count
 
@@ -68,6 +69,14 @@ class ScalingStage:
         if self.csd is None:
             self.csd = to_csd(self.scale, self.coefficient_bits)
         self.horner_steps = horner_decomposition(self.csd)
+        # The shift-add network multiplies by this exact integer: CSD digits
+        # whose shifted weight falls below the product LSB are truncated by
+        # csd_multiply_int, so the constant is rebuilt from the surviving
+        # digits rather than from the rounded real value.
+        self._int_multiplier = sum(
+            sign << (weight + self.coefficient_bits)
+            for weight, sign in self.csd.digits
+            if weight + self.coefficient_bits >= 0)
         self.metadata.setdefault("quantized_scale", self.csd.value)
         self.metadata.setdefault("scale_error", self.csd.value - self.scale)
 
@@ -79,15 +88,24 @@ class ScalingStage:
     # ------------------------------------------------------------------
     # Processing
     # ------------------------------------------------------------------
-    def process(self, samples: np.ndarray) -> np.ndarray:
+    def process(self, samples: np.ndarray, backend: str = "auto") -> np.ndarray:
         """Bit-true scaling of integer samples.
 
         Each sample is multiplied by the CSD-encoded constant using shifts
         and adds only; the ``coefficient_bits`` fractional bits of the
-        product are rounded away at the output.
+        product are rounded away at the output.  The shift-add network
+        computes an exact integer constant multiplication, so the vectorized
+        backend is a plain ``int64`` multiply by that constant — bit-exact
+        with the reference shift-add evaluation (``"auto"`` falls back to
+        the reference when the product might overflow ``int64``).
         """
-        ints = [int(v) for v in np.asarray(samples).tolist()]
+        samples = np.asarray(samples)
+        backend = resolve_int_backend(samples, abs(self._int_multiplier), backend)
         half = 1 << (self.coefficient_bits - 1)
+        if backend == "vectorized":
+            product = samples.astype(np.int64) * np.int64(self._int_multiplier)
+            return (product + half) >> self.coefficient_bits
+        ints = [int(v) for v in samples.tolist()]
         out = []
         for value in ints:
             product = csd_multiply_int(value, self.csd, self.coefficient_bits)

@@ -1,9 +1,18 @@
-"""End-to-end design flow: spec in, verified design + synthesis report out."""
+"""End-to-end design flow: spec in, verified design + synthesis report out.
+
+The flow's simulation steps accept a ``backend`` option selecting the
+bit-true chain engine (``"auto"``/``"reference"``/``"vectorized"``; all
+bit-exact — see :mod:`repro.core.chain`) and expose the block-streaming
+simulator through :meth:`FlowResult.simulate_blocks` so arbitrarily long
+code records can be pushed through a designed chain in bounded memory.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
 
 from repro.core.chain import ChainDesignOptions, DecimationChain
 from repro.core.spec import ChainSpec, paper_chain_spec
@@ -27,6 +36,19 @@ class FlowResult:
     def meets_spec(self) -> bool:
         return self.verification.passed
 
+    def simulate_blocks(self, codes: Union[np.ndarray, Iterable[np.ndarray]],
+                        block_size: int = 65536,
+                        backend: str = "auto") -> Iterator[np.ndarray]:
+        """Stream a code record through the designed chain in bounded memory.
+
+        Thin delegate to
+        :meth:`repro.core.chain.DecimationChain.simulate_blocks`; the
+        concatenated blocks equal ``chain.process_fixed(codes)`` bit for
+        bit.
+        """
+        return self.chain.simulate_blocks(codes, block_size=block_size,
+                                          backend=backend)
+
     def summary(self) -> dict:
         """Flat dictionary used by the examples and the benchmark harness."""
         out = {
@@ -47,7 +69,8 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
                     library: StandardCellLibrary = GENERIC_45NM,
                     include_snr_simulation: bool = False,
                     snr_samples: int = 32768,
-                    measure_activity: bool = True) -> FlowResult:
+                    measure_activity: bool = True,
+                    backend: str = "auto") -> FlowResult:
     """Run the complete rapid design-and-synthesis flow.
 
     Parameters
@@ -66,6 +89,11 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
     measure_activity:
         Measure Hogenauer toggle activity with the 5 MHz MSA stimulus for
         the power model (the paper's methodology) instead of using defaults.
+        Activity tracing always runs on the reference engine, which the
+        power model is calibrated against.
+    backend:
+        Bit-true chain engine for the SNR simulation (all engines are
+        bit-exact; ``"auto"`` picks the vectorized fast path).
     """
     spec = spec or paper_chain_spec()
     chain = DecimationChain.design(spec, options)
@@ -73,7 +101,7 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
     synthesis = SynthesisFlow(library).run(chain, measure_activity=measure_activity)
     snr = None
     if include_snr_simulation:
-        snr = simulated_output_snr(chain, n_samples=snr_samples)
+        snr = simulated_output_snr(chain, n_samples=snr_samples, backend=backend)
     return FlowResult(
         spec=spec,
         chain=chain,

@@ -98,6 +98,66 @@ class TestHogenauerAgainstReference:
         assert 0.0 < activity <= 1.0
 
 
+class TestVectorizedBackend:
+    """Bit-exactness of the cumsum-based fast path against the reference."""
+
+    @pytest.mark.parametrize("order", [1, 3, 4, 6])
+    def test_matches_reference_backend(self, order, rng):
+        spec = SincFilterSpec(order, 2, 4, 640e6)
+        x = _random_codes(rng, 511)
+        ref = HogenauerDecimator(spec).process(x, backend="reference")
+        vec = HogenauerDecimator(spec).process(x, backend="vectorized")
+        assert np.array_equal(ref, vec)
+
+    @pytest.mark.parametrize("decimation", [2, 3, 5, 8, 16])
+    def test_matches_reference_for_decimation_factors(self, decimation, rng):
+        spec = SincFilterSpec(4, decimation, 4, 640e6)
+        x = _random_codes(rng, 777)
+        ref = HogenauerDecimator(spec).process(x, backend="reference")
+        vec = HogenauerDecimator(spec).process(x, backend="vectorized")
+        assert np.array_equal(ref, vec)
+
+    def test_streaming_matches_one_shot(self, sinc4_spec, rng):
+        x = _random_codes(rng, 500)
+        one_shot = HogenauerDecimator(sinc4_spec).process(x, backend="vectorized")
+        streamer = HogenauerDecimator(sinc4_spec)
+        streamed = np.concatenate([
+            streamer.process(x[:37], backend="vectorized"),
+            streamer.process(x[37:251], backend="vectorized"),
+            streamer.process(x[251:], backend="vectorized"),
+        ])
+        assert np.array_equal(one_shot, streamed)
+
+    def test_wraparound_overflow_matches_reference(self, rng):
+        spec = SincFilterSpec(4, 2, 4, 640e6)
+        x = np.full(300, -8, dtype=np.int64)  # worst-case DC drives overflow
+        ref = HogenauerDecimator(spec).process(x, backend="reference")
+        vec = HogenauerDecimator(spec).process(x, backend="vectorized")
+        assert np.array_equal(ref, vec)
+        assert int(vec[-1]) == -8 * 16
+
+    def test_empty_block(self, sinc4_spec):
+        out = HogenauerDecimator(sinc4_spec).process(
+            np.zeros(0, dtype=np.int64), backend="vectorized")
+        assert len(out) == 0
+
+    def test_cascade_backend_option(self, rng):
+        specs = [SincFilterSpec(4, 2, 4, 640e6), SincFilterSpec(4, 2, 8, 320e6),
+                 SincFilterSpec(6, 2, 12, 160e6)]
+        x = _random_codes(rng, 1024)
+        ref = HogenauerCascade([HogenauerDecimator(s) for s in specs],
+                               rescale=True).process(x, backend="reference")
+        vec = HogenauerCascade([HogenauerDecimator(s) for s in specs],
+                               rescale=True).process(x, backend="vectorized")
+        assert np.array_equal(ref, vec)
+
+    def test_config_default_backend_honoured(self, sinc4_spec, rng):
+        x = _random_codes(rng, 256)
+        cfg_ref = HogenauerDecimator(sinc4_spec, HogenauerConfig(backend="reference"))
+        cfg_vec = HogenauerDecimator(sinc4_spec, HogenauerConfig(backend="vectorized"))
+        assert np.array_equal(cfg_ref.process(x), cfg_vec.process(x))
+
+
 class TestHogenauerResources:
     def test_resource_summary_counts(self, sinc4_spec):
         dec = HogenauerDecimator(sinc4_spec)

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.filters.hogenauer import HogenauerDecimator
 from repro.filters.sinc import SincFilter, SincFilterSpec
+from repro.filters.streaming import StreamingFIRDecimator
 from repro.fixedpoint import (
     FixedPointFormat,
     OverflowMode,
@@ -128,6 +129,38 @@ class TestHogenauerProperties:
         ref = [int(v) for v in dec.reference_output(x)]
         assert out == ref
 
+    @given(data=st.lists(st.integers(min_value=-8, max_value=7),
+                         min_size=1, max_size=300),
+           order=st.integers(min_value=1, max_value=6),
+           decimation=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_vectorized_backend_is_bit_exact(self, data, order, decimation):
+        spec = SincFilterSpec(order=order, decimation=decimation, input_bits=4,
+                              input_rate_hz=640e6)
+        x = np.array(data, dtype=np.int64)
+        ref = HogenauerDecimator(spec).process(x, backend="reference")
+        vec = HogenauerDecimator(spec).process(x, backend="vectorized")
+        assert [int(v) for v in ref] == [int(v) for v in vec]
+
+    @given(data=st.lists(st.integers(min_value=-8, max_value=7),
+                         min_size=8, max_size=200),
+           split=st.integers(min_value=0, max_value=200),
+           order=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_streaming_split_invariance(self, data, split, order):
+        # Feeding a record in two blocks must equal one-shot processing for
+        # any split point (the engines carry the register state exactly).
+        spec = SincFilterSpec(order=order, decimation=2, input_bits=4,
+                              input_rate_hz=640e6)
+        x = np.array(data, dtype=np.int64)
+        cut = min(split, len(x))
+        one_shot = HogenauerDecimator(spec).process(x, backend="vectorized")
+        streamer = HogenauerDecimator(spec)
+        streamed = np.concatenate([
+            streamer.process(x[:cut], backend="vectorized"),
+            streamer.process(x[cut:], backend="vectorized")])
+        assert [int(v) for v in one_shot] == [int(v) for v in streamed]
+
     @given(order=st.integers(min_value=1, max_value=8),
            dc=st.integers(min_value=-8, max_value=7))
     @settings(max_examples=60, deadline=None)
@@ -138,6 +171,35 @@ class TestHogenauerProperties:
         n = 40 * (order + 1)
         out = dec.process(np.full(n, dc, dtype=np.int64))
         assert int(out[-1]) == dc * 2 ** order
+
+
+class TestStreamingFIRProperties:
+    @given(taps=st.lists(st.integers(min_value=-100, max_value=100),
+                         min_size=1, max_size=9),
+           data=st.lists(st.integers(min_value=-1000, max_value=1000),
+                         min_size=0, max_size=80),
+           decimation=st.integers(min_value=1, max_value=4),
+           split=st.integers(min_value=0, max_value=80))
+    @settings(max_examples=120, deadline=None)
+    def test_streamed_blocks_equal_one_shot_semantics(self, taps, data,
+                                                      decimation, split):
+        # The streaming decimator must reproduce "convolve, align to the
+        # group delay, decimate, round" bit for bit, for any block split.
+        coefficient_bits = 4
+        taps_arr = np.array(taps, dtype=np.int64)
+        x = np.array(data, dtype=np.int64)
+        delay = (len(taps) - 1) // 2
+        full = np.convolve(x, taps_arr) if len(x) else np.zeros(0, dtype=np.int64)
+        aligned = full[delay:delay + len(x)][::decimation]
+        half = 1 << (coefficient_bits - 1)
+        expected = [(int(v) + half) >> coefficient_bits for v in aligned]
+
+        stream = StreamingFIRDecimator(taps_arr, coefficient_bits,
+                                       decimation=decimation)
+        cut = min(split, len(x))
+        parts = [stream.push(x[:cut]), stream.push(x[cut:]), stream.flush()]
+        got = [int(v) for part in parts for v in part]
+        assert got == expected
 
 
 class TestSincResponseProperties:
