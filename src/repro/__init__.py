@@ -16,6 +16,13 @@ The package is organized as:
   area estimation and Verilog RTL generation (the synthesis-flow substrate).
 * :mod:`repro.flow` — the one-call rapid design-and-synthesis flow and its
   reports.
+* :mod:`repro.explore` — design-space exploration: declarative sweeps over
+  the flow with parallel workers, an on-disk result cache and Pareto-ranked
+  reports.
+
+The package is also a command-line tool — ``python -m repro`` exposes
+``design``, ``verify``, ``sweep`` and ``report`` subcommands (see
+:mod:`repro.cli` and ``docs/GUIDE.md``).
 
 Quickstart::
 

@@ -13,6 +13,8 @@ from repro.core.spec import (
     ModulatorSpec,
     DecimationFilterSpec,
     ChainSpec,
+    canonical_json,
+    content_hash,
     paper_chain_spec,
     audio_chain_spec,
 )
@@ -24,6 +26,7 @@ from repro.core.chain import (
 )
 from repro.core.designer import (
     choose_sinc_orders,
+    enumerate_sinc_splits,
     evaluate_sinc_orders,
     sweep_sinc_order_splits,
     predicted_snr_after_decimation,
@@ -40,6 +43,8 @@ __all__ = [
     "ModulatorSpec",
     "DecimationFilterSpec",
     "ChainSpec",
+    "canonical_json",
+    "content_hash",
     "paper_chain_spec",
     "audio_chain_spec",
     "ChainDesignOptions",
@@ -47,6 +52,7 @@ __all__ = [
     "StageInfo",
     "design_paper_chain",
     "choose_sinc_orders",
+    "enumerate_sinc_splits",
     "evaluate_sinc_orders",
     "sweep_sinc_order_splits",
     "predicted_snr_after_decimation",

@@ -80,6 +80,23 @@ class ChainDesignOptions:
     retimed: bool = True
     pipelined: bool = True
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of the design options."""
+        from dataclasses import asdict
+
+        data = asdict(self)
+        if data["sinc_orders"] is not None:
+            data["sinc_orders"] = list(data["sinc_orders"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChainDesignOptions":
+        """Rebuild :class:`ChainDesignOptions` from :meth:`to_dict` output."""
+        data = dict(data)
+        if data.get("sinc_orders") is not None:
+            data["sinc_orders"] = tuple(data["sinc_orders"])
+        return cls(**data)
+
 
 @dataclass
 class StageInfo:

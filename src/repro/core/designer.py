@@ -82,21 +82,38 @@ def evaluate_sinc_orders(orders: Sequence[int], spec: ChainSpec) -> SincOrderEva
     )
 
 
-def sweep_sinc_order_splits(spec: ChainSpec, candidate_orders: Sequence[int] = (3, 4, 5, 6),
-                            ) -> List[SincOrderEvaluation]:
-    """Evaluate every combination of Sinc orders (the ablation benchmark data)."""
+def enumerate_sinc_splits(spec: ChainSpec,
+                          candidate_orders: Sequence[int] = (3, 4, 5, 6),
+                          ) -> List[Tuple[int, ...]]:
+    """Enumerate every candidate Sinc order split for a specification.
+
+    A split assigns one order from ``candidate_orders`` to each of the
+    spec's ``num_halving_stages - 1`` Sinc stages; the enumeration is in
+    deterministic lexicographic order (first stage varies slowest).  This is
+    the sweep primitive behind both :func:`sweep_sinc_order_splits` and the
+    ``sinc_orders="auto"`` axis of :class:`repro.explore.SweepSpec`.
+    """
     n_sinc = spec.num_halving_stages - 1
-    results: List[SincOrderEvaluation] = []
+    if n_sinc < 1:
+        raise ValueError("the architecture needs at least one Sinc stage")
+    splits: List[Tuple[int, ...]] = []
 
     def recurse(prefix: List[int]) -> None:
         if len(prefix) == n_sinc:
-            results.append(evaluate_sinc_orders(prefix, spec))
+            splits.append(tuple(prefix))
             return
         for order in candidate_orders:
             recurse(prefix + [order])
 
     recurse([])
-    return results
+    return splits
+
+
+def sweep_sinc_order_splits(spec: ChainSpec, candidate_orders: Sequence[int] = (3, 4, 5, 6),
+                            ) -> List[SincOrderEvaluation]:
+    """Evaluate every combination of Sinc orders (the ablation benchmark data)."""
+    return [evaluate_sinc_orders(split, spec)
+            for split in enumerate_sinc_splits(spec, candidate_orders)]
 
 
 def required_halfband_transition(spec: ChainSpec) -> float:

@@ -9,8 +9,10 @@ ad hoc.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 
@@ -55,6 +57,15 @@ class ModulatorSpec:
         """Target resolution implied by the SNR target ((SNR-1.76)/6.02)."""
         return (self.target_snr_db - 1.76) / 6.02
 
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of the specification fields."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModulatorSpec":
+        """Rebuild a :class:`ModulatorSpec` from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class DecimationFilterSpec:
@@ -85,11 +96,22 @@ class DecimationFilterSpec:
 
     @property
     def transition_band_hz(self) -> float:
+        """Width of the transition band between passband and stopband edges."""
         return self.stopband_edge_hz - self.passband_edge_hz
 
     @property
     def output_nyquist_hz(self) -> float:
+        """Half the output rate — the edge of the representable output band."""
         return self.output_rate_hz / 2.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary of the specification fields."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecimationFilterSpec":
+        """Rebuild a :class:`DecimationFilterSpec` from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -127,6 +149,98 @@ class ChainSpec:
             raise ValueError("total decimation factor must be a power of two "
                              "for the halving-stage architecture")
         return stages
+
+    # ------------------------------------------------------------------
+    # Serialization / hashing (the sweep subsystem's cache keys)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable nested dictionary of the full specification."""
+        return {"modulator": self.modulator.to_dict(),
+                "decimator": self.decimator.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChainSpec":
+        """Rebuild a :class:`ChainSpec` from :meth:`to_dict` output."""
+        return cls(modulator=ModulatorSpec.from_dict(data["modulator"]),
+                   decimator=DecimationFilterSpec.from_dict(data["decimator"]))
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the specification content.
+
+        Two :class:`ChainSpec` instances with equal field values hash
+        identically regardless of construction order; the digest keys the
+        on-disk result cache of :mod:`repro.explore`.
+        """
+        return content_hash(self.to_dict())
+
+    def derive(self, osr: Optional[int] = None,
+               bandwidth_hz: Optional[float] = None,
+               output_bits: Optional[int] = None,
+               stopband_attenuation_db: Optional[float] = None) -> "ChainSpec":
+        """Retarget this specification along the common sweep axes.
+
+        Keeps the spec self-consistent while changing high-level targets:
+        the sample rate follows ``2 * bandwidth * OSR``, the output rate
+        follows the new Nyquist rate, and the filter band edges scale
+        proportionally with the bandwidth (the paper's passband edge equals
+        the signal bandwidth; the stopband edge keeps its relative offset).
+
+        Parameters
+        ----------
+        osr:
+            New oversampling ratio (must remain a power of two for the
+            halving-stage architecture — enforced lazily by
+            :attr:`num_halving_stages`).
+        bandwidth_hz:
+            New signal bandwidth; band edges and rates scale with it.
+        output_bits:
+            New output word width.
+        stopband_attenuation_db:
+            New stopband-attenuation (halfband ripple) requirement.
+        """
+        mod = self.modulator
+        dec = self.decimator
+        new_bw = bandwidth_hz if bandwidth_hz is not None else mod.bandwidth_hz
+        new_osr = osr if osr is not None else mod.osr
+        scale = new_bw / mod.bandwidth_hz
+        new_mod = ModulatorSpec(
+            order=mod.order,
+            out_of_band_gain=mod.out_of_band_gain,
+            bandwidth_hz=new_bw,
+            sample_rate_hz=2.0 * new_bw * new_osr,
+            osr=new_osr,
+            quantizer_bits=mod.quantizer_bits,
+            msa=mod.msa,
+            target_snr_db=mod.target_snr_db,
+        )
+        new_dec = DecimationFilterSpec(
+            input_bits=dec.input_bits,
+            passband_ripple_db=dec.passband_ripple_db,
+            passband_edge_hz=dec.passband_edge_hz * scale,
+            stopband_edge_hz=dec.stopband_edge_hz * scale,
+            stopband_attenuation_db=(stopband_attenuation_db
+                                     if stopband_attenuation_db is not None
+                                     else dec.stopband_attenuation_db),
+            output_rate_hz=2.0 * new_bw,
+            target_snr_db=dec.target_snr_db,
+            output_bits=(output_bits if output_bits is not None
+                         else dec.output_bits),
+        )
+        return ChainSpec(modulator=new_mod, decimator=new_dec)
+
+
+def canonical_json(data: object) -> str:
+    """Canonical JSON encoding used for content hashing.
+
+    Keys are sorted and separators fixed so that logically equal payloads
+    always produce byte-identical text (and therefore identical digests).
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data: object) -> str:
+    """SHA-256 hex digest of a JSON-serializable payload (canonical form)."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
 
 
 def paper_chain_spec() -> ChainSpec:

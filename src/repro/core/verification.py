@@ -46,6 +46,7 @@ class VerificationReport:
 
     def add(self, name: str, measured: float, limit: float, comparison: str,
             unit: str = "dB") -> CheckResult:
+        """Evaluate one check (``measured <= limit`` or ``>=``) and record it."""
         if comparison == "<=":
             ok = measured <= limit
         elif comparison == ">=":
@@ -57,6 +58,7 @@ class VerificationReport:
         return check
 
     def as_dict(self) -> Dict[str, dict]:
+        """JSON-serializable view: check name → measured/limit/status fields."""
         return {
             check.name: {
                 "measured": check.measured,
@@ -76,7 +78,8 @@ class VerificationReport:
 
 def verify_chain(chain, include_snr: bool = False,
                  snr_samples: int = 65536,
-                 passband_fraction: float = 0.95) -> VerificationReport:
+                 passband_fraction: float = 0.95,
+                 backend: str = "auto") -> VerificationReport:
     """Verify a designed chain against its specification.
 
     Parameters
@@ -93,6 +96,9 @@ def verify_chain(chain, include_snr: bool = False,
         band edge at the output Nyquist frequency carries the halfband's
         −6 dB point by construction; the paper's equalizer likewise restores
         "the signal band" rather than the exact Nyquist edge).
+    backend:
+        Bit-true chain engine for the SNR simulation (all engines are
+        bit-exact).
     """
     spec = chain.spec
     report = VerificationReport(metadata={"passband_fraction": passband_fraction})
@@ -129,7 +135,7 @@ def verify_chain(chain, include_snr: bool = False,
                dec.stopband_attenuation_db, ">=")
 
     if include_snr:
-        snr = simulated_output_snr(chain, n_samples=snr_samples)
+        snr = simulated_output_snr(chain, n_samples=snr_samples, backend=backend)
         report.add("end-to-end SNR (bit-true chain)", snr, dec.target_snr_db - 3.0, ">=")
         report.metadata["simulated_snr_db"] = snr
 

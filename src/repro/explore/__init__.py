@@ -1,0 +1,75 @@
+"""Design-space exploration: declarative sweeps over the rapid design flow.
+
+The paper's flow designs, verifies and synthesis-estimates **one** chain per
+call; this package turns that into a batch explorer:
+
+* :class:`~repro.explore.sweep.SweepSpec` — a declarative grid (OSR,
+  bandwidth, Sinc splits, word widths, halfband attenuation) expanded into
+  deterministic :class:`~repro.explore.sweep.SweepPoint` lists.
+* :func:`~repro.explore.runner.run_sweep` — parallel batch execution via
+  ``concurrent.futures`` with a content-addressed on-disk cache
+  (:class:`~repro.explore.cache.SweepCache`).
+* :mod:`~repro.explore.pareto` — Pareto-front computation and ranking over
+  (SNR, power, area, gate count).
+* :mod:`~repro.explore.report` — Pareto-ranked markdown and canonical JSON
+  reports; cached re-runs reproduce them byte-identically.
+
+Quickstart::
+
+    from repro.explore import SweepSpec, run_sweep, sweep_report_markdown
+
+    sweep = SweepSpec(output_bits=(12, 14, 16), sinc_orders=((4, 4, 6), (3, 3, 5)))
+    result = run_sweep(sweep, workers=4, cache_dir=".repro-cache")
+    print(sweep_report_markdown(result))
+"""
+
+from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
+from repro.explore.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    dominates,
+    pareto_front,
+    pareto_rank,
+)
+from repro.explore.report import (
+    REPORT_SCHEMA_VERSION,
+    render_report_from_json,
+    sweep_report_json,
+    sweep_report_markdown,
+    sweep_table_markdown,
+)
+from repro.explore.runner import (
+    SweepPointResult,
+    SweepResult,
+    run_sweep,
+)
+from repro.explore.sweep import (
+    AUTO_SINC_ORDERS,
+    HALFBAND_DESIGN_MARGIN_DB,
+    SWEEP_AXES,
+    SweepPoint,
+    SweepSpec,
+)
+
+__all__ = [
+    "AUTO_SINC_ORDERS",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_OBJECTIVES",
+    "HALFBAND_DESIGN_MARGIN_DB",
+    "Objective",
+    "REPORT_SCHEMA_VERSION",
+    "SWEEP_AXES",
+    "SweepCache",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
+    "SweepSpec",
+    "dominates",
+    "pareto_front",
+    "pareto_rank",
+    "render_report_from_json",
+    "run_sweep",
+    "sweep_report_json",
+    "sweep_report_markdown",
+    "sweep_table_markdown",
+]

@@ -1,0 +1,78 @@
+"""On-disk result cache for design-space sweeps.
+
+Each cache entry is one JSON file named after the content hash of the sweep
+point that produced it (derived spec + design options + flow settings — see
+:meth:`repro.explore.sweep.SweepPoint.cache_key`), so a repeated sweep over
+the same grid reloads every point without re-running the flow, and any
+change to a point's inputs naturally misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+#: Bump when the record layout changes so stale entries miss instead of
+#: deserializing into the wrong shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+class SweepCache:
+    """Content-addressed JSON store for sweep point records.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; created (with parents) on first use.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Path of the entry for ``key`` (whether or not it exists)."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Load a cached record, or ``None`` on a miss.
+
+        Corrupt or schema-mismatched entries count as misses (and will be
+        overwritten by the next :meth:`put`).
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["record"]
+
+    def put(self, key: str, record: dict) -> None:
+        """Store a record atomically (write-to-temp + rename)."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

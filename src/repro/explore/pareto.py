@@ -1,0 +1,80 @@
+"""Pareto-front computation and ranking over sweep metrics.
+
+A design point dominates another when it is no worse on every objective and
+strictly better on at least one.  :func:`pareto_front` returns the
+non-dominated set; :func:`pareto_rank` peels fronts iteratively (rank 1 =
+non-dominated, rank 2 = non-dominated once rank 1 is removed, …) — the
+ordering the sweep reports present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One ranking objective: a metric name and its optimization sense."""
+
+    name: str
+    maximize: bool = False
+
+    def better(self, a: float, b: float) -> bool:
+        """Whether value ``a`` is strictly better than ``b``."""
+        return a > b if self.maximize else a < b
+
+
+#: The report's default objectives over a sweep point's metrics row:
+#: maximize SNR, minimize power, area and gate count.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("snr_db", maximize=True),
+    Objective("power_mw"),
+    Objective("area_mm2"),
+    Objective("gate_count"),
+)
+
+
+def _values(row: Mapping, objectives: Sequence[Objective]) -> Tuple[float, ...]:
+    try:
+        return tuple(float(row[o.name]) for o in objectives)
+    except KeyError as exc:
+        raise KeyError(f"metrics row is missing objective {exc.args[0]!r}") from exc
+
+
+def dominates(row_a: Mapping, row_b: Mapping,
+              objectives: Sequence[Objective] = DEFAULT_OBJECTIVES) -> bool:
+    """True when ``row_a`` Pareto-dominates ``row_b`` on the objectives."""
+    a = _values(row_a, objectives)
+    b = _values(row_b, objectives)
+    no_worse = all(not o.better(vb, va) for o, va, vb in zip(objectives, a, b))
+    strictly_better = any(o.better(va, vb) for o, va, vb in zip(objectives, a, b))
+    return no_worse and strictly_better
+
+
+def pareto_front(rows: Sequence[Mapping],
+                 objectives: Sequence[Objective] = DEFAULT_OBJECTIVES) -> List[int]:
+    """Indices of the non-dominated rows, in input order."""
+    front: List[int] = []
+    for i, row in enumerate(rows):
+        if not any(dominates(other, row, objectives)
+                   for j, other in enumerate(rows) if j != i):
+            front.append(i)
+    return front
+
+
+def pareto_rank(rows: Sequence[Mapping],
+                objectives: Sequence[Objective] = DEFAULT_OBJECTIVES) -> List[int]:
+    """Pareto rank of every row (1 = on the front), by iterative peeling."""
+    ranks = [0] * len(rows)
+    remaining = list(range(len(rows)))
+    rank = 1
+    while remaining:
+        subset = [rows[i] for i in remaining]
+        front_local = pareto_front(subset, objectives)
+        front_global = [remaining[i] for i in front_local]
+        for i in front_global:
+            ranks[i] = rank
+        remaining = [i for i in remaining if i not in set(front_global)]
+        rank += 1
+    return ranks

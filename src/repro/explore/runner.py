@@ -1,0 +1,258 @@
+"""Parallel batch execution of design-space sweeps with an on-disk cache.
+
+:func:`run_sweep` expands a :class:`~repro.explore.sweep.SweepSpec`, checks
+each point against the :class:`~repro.explore.cache.SweepCache`, runs the
+misses through :func:`repro.flow.run_design_flow` on a
+``concurrent.futures`` worker pool, and assembles everything into a
+:class:`SweepResult` that the Pareto ranking and the report renderers
+consume.  Records are plain JSON-serializable dictionaries, so a cached
+re-run reproduces bit-identical reports.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
+from repro.explore.pareto import DEFAULT_OBJECTIVES, Objective, pareto_rank
+from repro.explore.sweep import SweepPoint, SweepSpec
+
+def _execute_point(payload: dict) -> dict:
+    """Run one sweep point's design flow and return its JSON-safe record.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
+    it; the payload carries only plain dictionaries.
+    """
+    from repro.core.chain import ChainDesignOptions
+    from repro.core.designer import predicted_snr_after_decimation
+    from repro.core.spec import ChainSpec
+    from repro.flow.pipeline import run_design_flow
+    from repro.hardware.stdcell import library_by_name
+
+    spec = ChainSpec.from_dict(payload["spec"])
+    options = ChainDesignOptions.from_dict(payload["options"])
+    flow = payload["flow"]
+    result = run_design_flow(
+        spec=spec,
+        options=options,
+        library=library_by_name(flow["library"]),
+        include_snr_simulation=flow["include_snr"],
+        snr_samples=flow["snr_samples"],
+        measure_activity=flow["measure_activity"],
+        backend=flow["backend"],
+    )
+    record = result.record()
+    record["predicted_snr_db"] = float(predicted_snr_after_decimation(
+        spec, result.chain.summary()["sinc_orders"]))
+    record["simulated_snr_db"] = result.simulated_snr_db
+    return record
+
+
+@dataclass
+class SweepPointResult:
+    """Outcome of one sweep point: its identity, record and provenance."""
+
+    point: SweepPoint
+    cache_key: str
+    record: dict
+    #: Whether the record was loaded from the cache (not serialized into
+    #: reports, so cached re-runs stay bit-identical).
+    from_cache: bool = False
+
+    @property
+    def label(self) -> str:
+        """The point's sweep label."""
+        return self.point.label
+
+    @property
+    def meets_spec(self) -> bool:
+        """Whether the designed chain passed every verification check."""
+        return bool(self.record["summary"]["meets_spec"])
+
+    @property
+    def snr_db(self) -> float:
+        """Measured end-to-end SNR when simulated, else the linear-model estimate."""
+        simulated = self.record.get("simulated_snr_db")
+        return float(simulated if simulated is not None
+                     else self.record["predicted_snr_db"])
+
+    @property
+    def power_mw(self) -> float:
+        """Total estimated power in milliwatts."""
+        return float(self.record["summary"]["total_power_mw"])
+
+    @property
+    def area_mm2(self) -> float:
+        """Total estimated layout area in mm²."""
+        return float(self.record["summary"]["total_area_mm2"])
+
+    @property
+    def gate_count(self) -> int:
+        """NAND2-equivalent gate count of the whole chain."""
+        return int(self.record["gate_count"])
+
+    def metrics_row(self) -> Dict[str, object]:
+        """Flat metrics dictionary consumed by the Pareto ranking/reports."""
+        return {
+            "label": self.label,
+            "params": self.point.params_dict(),
+            "snr_db": self.snr_db,
+            "predicted_snr_db": float(self.record["predicted_snr_db"]),
+            "simulated_snr_db": self.record.get("simulated_snr_db"),
+            "power_mw": self.power_mw,
+            "area_mm2": self.area_mm2,
+            "gate_count": self.gate_count,
+            "meets_spec": self.meets_spec,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep plus run provenance."""
+
+    points: List[SweepPointResult]
+    flow_settings: dict
+    elapsed_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def metrics_rows(self) -> List[Dict[str, object]]:
+        """Per-point metric rows, in sweep expansion order."""
+        return [p.metrics_row() for p in self.points]
+
+    def pareto_ranks(self, objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+                     ) -> List[int]:
+        """Pareto rank of every point (1 = on the front), expansion order."""
+        return pareto_rank(self.metrics_rows(), objectives)
+
+    def ranked(self, objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+               ) -> List[SweepPointResult]:
+        """Points sorted by (Pareto rank, power, label) — the report order."""
+        ranks = self.pareto_ranks(objectives)
+        order = sorted(range(len(self.points)),
+                       key=lambda i: (ranks[i], self.points[i].power_mw,
+                                      self.points[i].label))
+        return [self.points[i] for i in order]
+
+
+def run_sweep(sweep: SweepSpec,
+              workers: int = 1,
+              cache_dir: Optional[Union[str, Path]] = None,
+              include_snr: bool = False,
+              snr_samples: int = 16384,
+              measure_activity: bool = False,
+              backend: str = "auto",
+              library: str = "generic-45nm",
+              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+    """Execute every point of a design-space sweep, in parallel, with caching.
+
+    Parameters
+    ----------
+    sweep:
+        The declarative grid to expand and run.
+    workers:
+        Worker processes for the cache misses; ``1`` runs inline (no pool),
+        higher values use a :class:`concurrent.futures.ProcessPoolExecutor`.
+    cache_dir:
+        Directory of the on-disk result cache; ``None`` disables caching.
+    include_snr:
+        Simulate the modulator + bit-true chain per point for the measured
+        end-to-end SNR (slower); otherwise the reports fall back to the
+        designer's linear-model SNR estimate.
+    snr_samples:
+        Modulator samples for the per-point SNR simulation.
+    measure_activity:
+        Measure Hogenauer toggle activity for the power model instead of
+        using the per-kind defaults (slower, reference engine).
+    backend:
+        Bit-true chain engine for the SNR leg (``"auto"`` picks the PR-1
+        vectorized fast path).
+    library:
+        Standard-cell library name (``"generic-45nm"`` or ``"generic-90nm"``).
+    progress:
+        Optional callback invoked with one line per completed point.
+
+    Returns
+    -------
+    SweepResult
+        Per-point records in expansion order plus cache/run statistics.
+    """
+    from repro.hardware.stdcell import library_by_name
+
+    library_by_name(library)  # validate eagerly, before any work
+    flow_settings = {
+        "include_snr": bool(include_snr),
+        "snr_samples": int(snr_samples),
+        "measure_activity": bool(measure_activity),
+        "backend": str(backend),
+        "library": str(library),
+        "cache_schema": CACHE_SCHEMA_VERSION,
+    }
+    points = sweep.expand()
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+
+    started = time.perf_counter()
+    records: Dict[int, dict] = {}
+    from_cache: Dict[int, bool] = {}
+    keys: Dict[int, str] = {}
+    pending: List[SweepPoint] = []
+    for point in points:
+        key = point.cache_key(flow_settings)
+        keys[point.index] = key
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            records[point.index] = cached
+            from_cache[point.index] = True
+            if progress is not None:
+                progress(f"[cache] {point.label}")
+        else:
+            pending.append(point)
+
+    def finish(point: SweepPoint, record: dict) -> None:
+        records[point.index] = record
+        from_cache[point.index] = False
+        if cache is not None:
+            cache.put(keys[point.index], record)
+        if progress is not None:
+            progress(f"[run]   {point.label}")
+
+    payloads = [{**p.payload(), "flow": flow_settings} for p in pending]
+    if pending and workers > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            for point, record in zip(pending, pool.map(_execute_point, payloads)):
+                finish(point, record)
+    else:
+        for point, payload in zip(pending, payloads):
+            finish(point, _execute_point(payload))
+
+    elapsed = time.perf_counter() - started
+    results = [SweepPointResult(point=point, cache_key=keys[point.index],
+                                record=records[point.index],
+                                from_cache=from_cache[point.index])
+               for point in points]
+    return SweepResult(
+        points=results,
+        flow_settings=flow_settings,
+        elapsed_s=elapsed,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=len(pending),
+        workers=workers,
+        metadata={"num_points": len(points), "axes": _axes_json(sweep)},
+    )
+
+
+def _axes_json(sweep: SweepSpec) -> Dict[str, list]:
+    """The sweep's non-empty axes as JSON-safe lists (report provenance)."""
+    axes: Dict[str, list] = {}
+    for name, values in sweep.axes().items():
+        axes[name] = [list(v) if isinstance(v, tuple) else v for v in values]
+    return axes

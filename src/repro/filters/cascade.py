@@ -76,6 +76,7 @@ class MultirateCascade:
         return self.input_rate_hz / self.total_decimation
 
     def stage_input_rates(self) -> List[float]:
+        """Input sample rate of each stage, walking the decimation down."""
         rates = []
         rate = self.input_rate_hz
         for stage in self.stages:
@@ -136,6 +137,7 @@ class MultirateCascade:
     # Specification measurements
     # ------------------------------------------------------------------
     def passband_ripple_db(self, passband_hz: float, n_points: int = 1024) -> float:
+        """Peak-to-peak overall-response variation over ``[0, passband_hz]``."""
         freqs = np.linspace(0.0, passband_hz, n_points)
         return self.overall_response(freqs).passband_ripple_db(passband_hz)
 

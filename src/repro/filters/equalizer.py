@@ -48,6 +48,7 @@ class EqualizerDesign:
 
     def response(self, frequencies_hz: Optional[np.ndarray] = None,
                  n_points: int = 2048) -> FrequencyResponse:
+        """Frequency response of the (unquantized) equalizer taps."""
         return fir_response(self.taps, self.sample_rate_hz, frequencies_hz,
                             n_points, label="Equalizer")
 

@@ -206,6 +206,7 @@ class FIRFilterFixedPoint:
         return csd_adders + pre_adders + combine_adders
 
     def resource_summary(self, input_rate_hz: float) -> dict:
+        """Adder/register resources for the hardware model, at the given clock."""
         adders = self.adder_count()
         registers = self.n_taps - 1
         return {

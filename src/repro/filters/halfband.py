@@ -244,6 +244,7 @@ class SaramakiHalfband:
         return float(-20.0 * np.log10(max(np.max(response), 1e-300)))
 
     def passband_ripple_db(self, passband_end: float, n_points: int = 2048) -> float:
+        """Peak-to-peak zero-phase response variation over ``[0, passband_end]``."""
         freqs = np.linspace(0.0, passband_end, n_points)
         response = np.abs(self.zero_phase_response(freqs))
         return float(20.0 * np.log10(np.max(response) / max(np.min(response), 1e-300)))

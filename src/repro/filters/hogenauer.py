@@ -398,6 +398,7 @@ class HogenauerCascade:
         self.rescale = rescale
 
     def reset(self) -> None:
+        """Clear every stage's integrator, comb and pipeline registers."""
         for stage in self.stages:
             stage.reset()
 
@@ -427,4 +428,5 @@ class HogenauerCascade:
         return total
 
     def resource_summaries(self) -> List[dict]:
+        """Per-stage ``resource_summary()`` dicts, first stage first."""
         return [stage.resource_summary() for stage in self.stages]

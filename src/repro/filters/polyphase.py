@@ -226,6 +226,7 @@ class PolyphaseDecimatorFixedPoint:
         self._abs_tap_sum = int(sum(abs(int(t)) for t in self._int_taps))
 
     def process(self, samples: np.ndarray, backend: str = "auto") -> np.ndarray:
+        """Bit-true decimation of a block (``backend`` as in the class docs)."""
         samples = np.asarray(samples)
         if len(samples) == 0:
             return np.zeros(0, dtype=np.int64)

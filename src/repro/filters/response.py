@@ -58,6 +58,7 @@ class FrequencyResponse:
     # Band measurements
     # ------------------------------------------------------------------
     def band_mask(self, f_lo: float, f_hi: float) -> np.ndarray:
+        """Boolean mask of the grid points inside ``[f_lo, f_hi]``."""
         return (self.frequencies_hz >= f_lo) & (self.frequencies_hz <= f_hi)
 
     def passband_ripple_db(self, passband_hz: float, f_lo: float = 0.0) -> float:

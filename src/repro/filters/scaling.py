@@ -124,6 +124,7 @@ class ScalingStage:
         return horner_adder_count(self.horner_steps)
 
     def resource_summary(self, input_rate_hz: float) -> dict:
+        """Adder/register resources for the hardware model, at the given clock."""
         adders = self.adder_count()
         # The Horner partial results carry the full product width (data plus
         # coefficient fraction bits) and each nested step is pipelined, so

@@ -284,6 +284,7 @@ class SincCascade:
     # Figures of merit
     # ------------------------------------------------------------------
     def passband_droop_db(self, bandwidth_hz: float) -> float:
+        """Worst in-band droop of the whole cascade (the equalizer's burden)."""
         response = self.cascade_response(np.linspace(0.0, bandwidth_hz, 512))
         return float(response.magnitude_db[0] - np.min(response.magnitude_db))
 

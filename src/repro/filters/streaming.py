@@ -151,7 +151,8 @@ class StreamingFIRDecimator:
             return np.zeros(0, dtype=np.int64)
         count = -(-(emit_end - start) // m)  # aligned grid points in range
         offset = start + self.delay - global_base
-        half = 1 << (self.coefficient_bits - 1)
+        # Integer taps (coefficient_bits == 0) need no rounding offset.
+        half = (1 << (self.coefficient_bits - 1)) if self.coefficient_bits > 0 else 0
         use64 = (self._taps64 is not None
                  and int64_accumulator_safe(data, self._abs_tap_sum))
         if use64:

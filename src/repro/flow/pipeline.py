@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.chain import ChainDesignOptions, DecimationChain
 from repro.core.spec import ChainSpec, paper_chain_spec
-from repro.core.verification import VerificationReport, simulated_output_snr, verify_chain
+from repro.core.verification import VerificationReport, verify_chain
 from repro.hardware.stdcell import GENERIC_45NM, StandardCellLibrary
 from repro.hardware.synthesis import SynthesisFlow, SynthesisReport
 
@@ -63,6 +63,41 @@ class FlowResult:
             out["simulated_snr_db"] = self.simulated_snr_db
         return out
 
+    def record(self) -> dict:
+        """JSON-serializable record of this run (the sweep cache payload).
+
+        Contains the spec, design options, flat summary, verification
+        checks and per-stage power rows — everything the batch reports and
+        the :mod:`repro.explore` result cache need, with numpy scalars
+        coerced to plain Python types so ``json.dumps`` round-trips.
+        """
+        return _json_sanitize({
+            "spec": self.spec.to_dict(),
+            "options": self.chain.options.to_dict(),
+            "summary": self.summary(),
+            "verification": self.verification.as_dict(),
+            "power_table": self.synthesis.power_table(),
+            "gate_count": self.synthesis.total_gate_count,
+            "metadata": self.metadata,
+        })
+
+
+def _json_sanitize(value):
+    """Recursively coerce numpy scalars/arrays into JSON-safe Python types."""
+    if isinstance(value, dict):
+        return {str(k): _json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_sanitize(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_json_sanitize(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
 
 def run_design_flow(spec: Optional[ChainSpec] = None,
                     options: Optional[ChainDesignOptions] = None,
@@ -83,7 +118,9 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
         Standard-cell technology model for the power/area estimates.
     include_snr_simulation:
         Also simulate the modulator + bit-true chain to measure the output
-        SNR (slow; a few seconds for the default record length).
+        SNR (slow; a few seconds for the default record length).  The
+        measured SNR is added to the verification report as a check
+        against the Table I target, so it counts toward ``meets_spec``.
     snr_samples:
         Modulator samples for the SNR simulation.
     measure_activity:
@@ -97,11 +134,10 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
     """
     spec = spec or paper_chain_spec()
     chain = DecimationChain.design(spec, options)
-    verification = verify_chain(chain)
+    verification = verify_chain(chain, include_snr=include_snr_simulation,
+                                snr_samples=snr_samples, backend=backend)
     synthesis = SynthesisFlow(library).run(chain, measure_activity=measure_activity)
-    snr = None
-    if include_snr_simulation:
-        snr = simulated_output_snr(chain, n_samples=snr_samples, backend=backend)
+    snr = verification.metadata.get("simulated_snr_db")
     return FlowResult(
         spec=spec,
         chain=chain,

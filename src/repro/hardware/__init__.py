@@ -12,7 +12,13 @@ Stands in for the commercial tool chain of the paper's Section VIII:
 * :mod:`~repro.hardware.synthesis` — the combined flow producing one report.
 """
 
-from repro.hardware.stdcell import StandardCellLibrary, GENERIC_45NM, GENERIC_90NM
+from repro.hardware.stdcell import (
+    StandardCellLibrary,
+    GENERIC_45NM,
+    GENERIC_90NM,
+    LIBRARIES,
+    library_by_name,
+)
 from repro.hardware.resources import (
     StageResources,
     resources_from_summary,
@@ -41,6 +47,8 @@ __all__ = [
     "StandardCellLibrary",
     "GENERIC_45NM",
     "GENERIC_90NM",
+    "LIBRARIES",
+    "library_by_name",
     "StageResources",
     "resources_from_summary",
     "extract_chain_resources",

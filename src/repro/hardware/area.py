@@ -41,6 +41,7 @@ class AreaReport:
         return self.total_cell_area_um2 / self.library.utilization / 1e6
 
     def fractions(self) -> Dict[str, float]:
+        """Per-stage share of the total cell area (the Fig. 12 breakdown)."""
         total = self.total_cell_area_um2
         if total <= 0:
             return {s.label: 0.0 for s in self.stages}
@@ -62,6 +63,7 @@ class AreaModel:
         self.library = library
 
     def stage_area(self, resources: StageResources) -> StageArea:
+        """Cell area of one stage from its adder/register bit counts."""
         lib = self.library
         area = (lib.adder_area_per_bit_um2 * resources.total_adder_bits +
                 lib.register_area_per_bit_um2 * resources.total_register_bits)
@@ -79,6 +81,7 @@ class AreaModel:
         )
 
     def chain_area(self, resources: List[StageResources]) -> AreaReport:
+        """Area report over all stages of a designed chain."""
         return AreaReport(
             stages=[self.stage_area(r) for r in resources],
             library=self.library,

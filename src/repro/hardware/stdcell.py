@@ -98,3 +98,18 @@ GENERIC_90NM = StandardCellLibrary(
     register_area_per_bit_um2=28.0,
     utilization=0.70,
 )
+
+#: Libraries addressable by name (CLI flags, sweep worker payloads).
+LIBRARIES = {
+    GENERIC_45NM.name: GENERIC_45NM,
+    GENERIC_90NM.name: GENERIC_90NM,
+}
+
+
+def library_by_name(name: str) -> StandardCellLibrary:
+    """Look up a named standard-cell library (the CLI/sweep addressing)."""
+    try:
+        return LIBRARIES[name]
+    except KeyError:
+        raise ValueError(f"unknown standard-cell library {name!r}; "
+                         f"choose from {sorted(LIBRARIES)}") from None

@@ -39,7 +39,13 @@ class SynthesisReport:
     def total_area_mm2(self) -> float:
         return self.area.total_layout_area_mm2
 
+    @property
+    def total_gate_count(self) -> int:
+        """NAND2-equivalent gate count summed over all stages."""
+        return sum(r.equivalent_gate_count for r in self.resources)
+
     def rtl_line_count(self) -> int:
+        """Total generated RTL lines across all modules."""
         return sum(module.line_count() for module in self.rtl.values())
 
     def power_table(self) -> List[Dict[str, object]]:

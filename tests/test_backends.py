@@ -312,3 +312,16 @@ class TestFastModulatorEngine:
         ntf.gain = 2.0
         with pytest.raises(ValueError):
             FastErrorFeedbackSimulator(ntf, MultibitQuantizer(4))
+
+
+class TestStreamingIntegerTaps:
+    def test_zero_coefficient_bits_streams_without_rounding(self):
+        """Integer taps (coefficient_bits=0) must not apply a rounding shift."""
+        taps = [1, 2, 1]
+        x = np.arange(50, dtype=np.int64)
+        dec = StreamingFIRDecimator(int_taps=taps, coefficient_bits=0, decimation=2)
+        parts = [dec.push(x), dec.flush()]
+        streamed = np.concatenate([np.asarray(p) for p in parts if len(p)])
+        delay = (len(taps) - 1) // 2
+        expected = np.convolve(x, taps)[delay:delay + len(x):2]
+        np.testing.assert_array_equal(streamed[:len(expected)], expected)

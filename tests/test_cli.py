@@ -1,0 +1,116 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*args, cwd=None, check=True):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env,
+        cwd=str(cwd or REPO_ROOT), timeout=300,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"CLI {' '.join(args)} exited {proc.returncode}:\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    return proc
+
+
+class TestHelp:
+    def test_top_level_help(self):
+        proc = run_cli("--help")
+        assert "design" in proc.stdout
+        assert "sweep" in proc.stdout
+
+    @pytest.mark.parametrize("command", ["design", "verify", "sweep", "report"])
+    def test_subcommand_help(self, command):
+        proc = run_cli(command, "--help")
+        assert command in proc.stdout or "usage" in proc.stdout
+
+    def test_missing_command_errors(self):
+        proc = run_cli(check=False)
+        assert proc.returncode != 0
+
+
+class TestDesignAndVerify:
+    def test_design_prints_report_and_writes_record(self, tmp_path):
+        record_path = tmp_path / "flow.json"
+        proc = run_cli("design", "--no-activity", "--json", str(record_path))
+        assert "Design summary" in proc.stdout
+        assert "PASS" in proc.stdout
+        record = json.loads(record_path.read_text(encoding="utf-8"))
+        assert record["summary"]["meets_spec"] is True
+        assert record["gate_count"] > 0
+
+    def test_verify_passes_on_paper_spec(self):
+        proc = run_cli("verify")
+        assert "| Check |" in proc.stdout
+        assert "Overall: PASS" in proc.stdout
+
+    def test_verify_snr_counts_toward_the_verdict(self):
+        proc = run_cli("verify", "--snr", "--snr-samples", "16384")
+        assert "end-to-end SNR" in proc.stdout  # the SNR check is a table row
+        assert "Overall: PASS" in proc.stdout
+
+    def test_design_accepts_spec_json(self, tmp_path):
+        from repro.core import paper_chain_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(paper_chain_spec().to_dict()),
+                             encoding="utf-8")
+        proc = run_cli("design", "--no-activity", "--spec-json", str(spec_path))
+        assert "Design summary" in proc.stdout
+
+    def test_invalid_sinc_split_is_a_clean_error(self):
+        proc = run_cli("design", "--sinc-orders-base", "four", check=False)
+        assert proc.returncode != 0
+        assert "invalid sinc order split" in proc.stderr
+
+
+class TestSweepAndReport:
+    def test_two_point_sweep_and_cached_rerun(self, tmp_path):
+        cache = tmp_path / "cache"
+        json_out = tmp_path / "report.json"
+        args = ("sweep", "--output-bits", "12", "14", "--workers", "2",
+                "--cache-dir", str(cache), "--quiet",
+                "--json", str(json_out))
+        first = run_cli(*args, cwd=tmp_path)
+        assert "2 cached" not in first.stderr
+        payload = json.loads(json_out.read_text(encoding="utf-8"))
+        assert payload["num_points"] == 2
+        assert {p["label"] for p in payload["points"]} == {"w12", "w14"}
+
+        rerun_out = tmp_path / "report2.json"
+        second = run_cli("sweep", "--output-bits", "12", "14", "--workers", "2",
+                         "--cache-dir", str(cache), "--quiet",
+                         "--json", str(rerun_out), cwd=tmp_path)
+        assert "2 cached, 0 executed" in second.stderr
+        assert rerun_out.read_bytes() == json_out.read_bytes()
+
+    def test_report_rerenders_saved_json(self, tmp_path):
+        cache = tmp_path / "cache"
+        json_out = tmp_path / "report.json"
+        md_out = tmp_path / "report.md"
+        run_cli("sweep", "--output-bits", "12", "--workers", "1",
+                "--cache-dir", str(cache), "--quiet",
+                "--json", str(json_out), "--markdown", str(md_out),
+                cwd=tmp_path)
+        proc = run_cli("report", str(json_out))
+        assert proc.stdout.strip() == md_out.read_text(encoding="utf-8").strip()
+
+    def test_report_rejects_unknown_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": 999}', encoding="utf-8")
+        proc = run_cli("report", str(bad), check=False)
+        assert proc.returncode != 0

@@ -79,3 +79,31 @@ class TestPredictedSNR:
         # output quantization, so it sits above the simulated value).
         predicted = predicted_snr_after_decimation(paper_chain.spec, (4, 4, 6))
         assert 86.0 < predicted < 115.0
+
+
+class TestEnumerateSincSplits:
+    def test_deterministic_lexicographic_order(self):
+        from repro.core import enumerate_sinc_splits, paper_chain_spec
+
+        splits = enumerate_sinc_splits(paper_chain_spec(), (4, 6))
+        assert splits == [(4, 4, 4), (4, 4, 6), (4, 6, 4), (4, 6, 6),
+                          (6, 4, 4), (6, 4, 6), (6, 6, 4), (6, 6, 6)]
+
+    def test_split_length_follows_osr(self):
+        from repro.core import enumerate_sinc_splits, paper_chain_spec
+
+        spec = paper_chain_spec().derive(osr=8)
+        splits = enumerate_sinc_splits(spec, (3, 4))
+        assert all(len(s) == 2 for s in splits)
+        assert len(splits) == 4
+
+    def test_sweep_uses_enumeration(self):
+        from repro.core import (
+            enumerate_sinc_splits,
+            paper_chain_spec,
+            sweep_sinc_order_splits,
+        )
+
+        spec = paper_chain_spec()
+        evaluations = sweep_sinc_order_splits(spec, (4, 6))
+        assert [e.orders for e in evaluations] == enumerate_sinc_splits(spec, (4, 6))

@@ -108,3 +108,65 @@ class TestChainSpec:
         spec = ChainSpec(modulator=modulator, decimator=decimator)
         with pytest.raises(ValueError):
             _ = spec.num_halving_stages
+
+
+class TestSerialization:
+    """to_dict / from_dict / content hashing (the sweep cache contract)."""
+
+    def test_modulator_round_trip(self):
+        spec = ModulatorSpec()
+        assert ModulatorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_decimator_round_trip(self):
+        spec = DecimationFilterSpec()
+        assert DecimationFilterSpec.from_dict(spec.to_dict()) == spec
+
+    def test_chain_round_trip(self):
+        for spec in (paper_chain_spec(), audio_chain_spec()):
+            assert ChainSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        text = json.dumps(paper_chain_spec().to_dict())
+        assert ChainSpec.from_dict(json.loads(text)) == paper_chain_spec()
+
+    def test_content_hash_stable(self):
+        assert paper_chain_spec().content_hash() == paper_chain_spec().content_hash()
+
+    def test_content_hash_differs_for_different_specs(self):
+        assert paper_chain_spec().content_hash() != audio_chain_spec().content_hash()
+
+    def test_content_hash_is_hex_sha256(self):
+        digest = paper_chain_spec().content_hash()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestDerive:
+    """ChainSpec.derive keeps retargeted specs self-consistent."""
+
+    def test_derive_without_arguments_is_identity(self):
+        spec = paper_chain_spec()
+        assert spec.derive() == spec
+
+    def test_derive_osr(self):
+        spec = paper_chain_spec().derive(osr=8)
+        assert spec.modulator.osr == 8
+        assert spec.modulator.sample_rate_hz == pytest.approx(320e6)
+        assert spec.decimator.output_rate_hz == pytest.approx(40e6)
+        assert spec.num_halving_stages == 3
+
+    def test_derive_bandwidth_scales_edges(self):
+        spec = paper_chain_spec().derive(bandwidth_hz=10e6)
+        assert spec.modulator.bandwidth_hz == pytest.approx(10e6)
+        assert spec.decimator.passband_edge_hz == pytest.approx(10e6)
+        assert spec.decimator.stopband_edge_hz == pytest.approx(11.5e6)
+        assert spec.decimator.output_rate_hz == pytest.approx(20e6)
+        assert spec.total_decimation == 16
+
+    def test_derive_output_bits_and_attenuation(self):
+        spec = paper_chain_spec().derive(output_bits=16,
+                                         stopband_attenuation_db=95.0)
+        assert spec.decimator.output_bits == 16
+        assert spec.decimator.stopband_attenuation_db == pytest.approx(95.0)

@@ -1,0 +1,59 @@
+"""Tests for the on-disk sweep result cache (repro.explore.cache)."""
+
+import json
+
+from repro.explore import SweepCache
+from repro.explore.cache import CACHE_SCHEMA_VERSION
+
+
+class TestSweepCache:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        assert cache.get("deadbeef") is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_put_then_get_roundtrip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        record = {"summary": {"total_power_mw": 8.97}, "gate_count": 70664}
+        cache.put("abc123", record)
+        assert cache.get("abc123") == record
+        assert cache.hits == 1
+        assert cache.misses == 0
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        SweepCache(target)
+        assert target.is_dir()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.path_for("bad").write_text("{not json", encoding="utf-8")
+        assert cache.get("bad") is None
+        assert cache.misses == 1
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        entry = {"schema": CACHE_SCHEMA_VERSION + 1, "key": "k", "record": {}}
+        cache.path_for("k").write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get("k") is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("a", {"x": 1})
+        cache.put("b", {"x": 2})
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_put_overwrites(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("k", {"v": 1})
+        assert list(tmp_path.glob("*.tmp")) == []

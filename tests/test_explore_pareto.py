@@ -1,0 +1,83 @@
+"""Tests for Pareto-front computation and ranking (repro.explore.pareto)."""
+
+import pytest
+
+from repro.explore import DEFAULT_OBJECTIVES, Objective, dominates, pareto_front, pareto_rank
+
+
+def row(snr, power, area=0.1, gates=1000, label="x"):
+    return {"label": label, "snr_db": snr, "power_mw": power,
+            "area_mm2": area, "gate_count": gates}
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(row(90, 5), row(85, 8))
+
+    def test_equal_rows_do_not_dominate(self):
+        assert not dominates(row(90, 5), row(90, 5))
+
+    def test_tradeoff_rows_do_not_dominate(self):
+        better_snr = row(90, 8)
+        better_power = row(85, 5)
+        assert not dominates(better_snr, better_power)
+        assert not dominates(better_power, better_snr)
+
+    def test_better_on_one_equal_on_rest(self):
+        assert dominates(row(90, 5), row(90, 6))
+
+    def test_missing_objective_raises(self):
+        with pytest.raises(KeyError, match="power_mw"):
+            dominates({"snr_db": 90}, row(85, 8))
+
+
+class TestParetoFront:
+    def test_hand_built_front(self):
+        rows = [
+            row(90, 8, label="hi-snr"),      # front: best SNR
+            row(85, 5, label="lo-power"),    # front: best power
+            row(88, 6, label="balanced"),    # front: between the two
+            row(84, 9, label="dominated"),   # dominated by every other row
+            row(85, 6, label="mid"),         # dominated by lo-power
+        ]
+        front = pareto_front(rows)
+        assert [rows[i]["label"] for i in front] == ["hi-snr", "lo-power", "balanced"]
+
+    def test_single_row_is_the_front(self):
+        assert pareto_front([row(90, 5)]) == [0]
+
+    def test_duplicate_rows_both_on_front(self):
+        rows = [row(90, 5), row(90, 5)]
+        assert pareto_front(rows) == [0, 1]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_custom_objectives(self):
+        rows = [row(90, 8, gates=100), row(85, 5, gates=50)]
+        only_gates = (Objective("gate_count"),)
+        assert pareto_front(rows, only_gates) == [1]
+
+
+class TestParetoRank:
+    def test_rank_peeling(self):
+        rows = [
+            row(90, 8, label="front-a"),
+            row(85, 5, label="front-b"),
+            row(89, 8.5, label="second"),    # dominated only by front-a
+            row(84, 9, label="third"),       # dominated by second too
+        ]
+        assert pareto_rank(rows) == [1, 1, 2, 3]
+
+    def test_all_on_front(self):
+        rows = [row(90, 8), row(85, 5)]
+        assert pareto_rank(rows) == [1, 1]
+
+    def test_chain_of_dominated_rows(self):
+        rows = [row(90 - i, 5 + i, area=0.1 + i, gates=100 + i) for i in range(4)]
+        assert pareto_rank(rows) == [1, 2, 3, 4]
+
+    def test_default_objectives_cover_all_four_metrics(self):
+        names = {o.name for o in DEFAULT_OBJECTIVES}
+        assert names == {"snr_db", "power_mw", "area_mm2", "gate_count"}
+        assert [o.maximize for o in DEFAULT_OBJECTIVES].count(True) == 1

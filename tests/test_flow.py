@@ -34,6 +34,12 @@ class TestRunDesignFlow:
         assert result.simulated_snr_db is not None
         assert result.simulated_snr_db > 75.0
         assert "simulated_snr_db" in result.summary()
+        # The measured SNR is a verification check and counts toward the
+        # overall verdict (simulated once, shared with the report).
+        snr_checks = [c for c in result.verification.checks
+                      if "end-to-end SNR" in c.name]
+        assert len(snr_checks) == 1
+        assert snr_checks[0].measured == pytest.approx(result.simulated_snr_db)
 
     def test_flow_with_custom_options(self):
         options = ChainDesignOptions(equalizer_order=32)
@@ -62,3 +68,59 @@ class TestReports:
         table = verification_table_markdown(flow_result)
         assert "| Check |" in table
         assert "PASS" in table
+
+    def test_record_is_json_serializable(self, flow_result):
+        import json
+
+        record = flow_result.record()
+        round_tripped = json.loads(json.dumps(record))
+        assert round_tripped["summary"]["meets_spec"] is True
+        assert round_tripped["gate_count"] > 0
+        assert round_tripped["spec"]["modulator"]["osr"] == 16
+        assert "verification" in round_tripped
+        assert round_tripped["power_table"]
+
+
+class TestBatchReports:
+    """The formatters accept a sequence of results (sweep batches)."""
+
+    @pytest.fixture(scope="class")
+    def batch(self, flow_result):
+        options = ChainDesignOptions(equalizer_order=32)
+        other = run_design_flow(options=options, measure_activity=False)
+        return [flow_result, other]
+
+    def test_power_table_batch_gains_design_column(self, batch):
+        table = power_table_markdown(batch, labels=["paper", "eq32"])
+        assert table.startswith("| Design | Filter Stage |")
+        assert "| paper |" in table
+        assert "| eq32 |" in table
+
+    def test_power_table_batch_default_labels(self, batch):
+        table = power_table_markdown(batch)
+        assert "| design-0 |" in table
+        assert "| design-1 |" in table
+
+    def test_verification_table_batch(self, batch):
+        table = verification_table_markdown(batch, labels=["a", "b"])
+        assert table.startswith("| Design | Check |")
+        rows = [line for line in table.splitlines() if line.startswith("| a |")]
+        assert rows  # every check of the first design is labelled
+
+    def test_single_result_unchanged_by_batch_support(self, flow_result):
+        table = power_table_markdown(flow_result)
+        assert table.startswith("| Filter Stage |")
+        assert "Design" not in table.splitlines()[0]
+
+    def test_flow_report_text_batch_sections(self, batch):
+        text = flow_report_text(batch, labels=["paper", "eq32"])
+        assert "[paper]" in text
+        assert "[eq32]" in text
+
+    def test_label_count_mismatch_rejected(self, batch):
+        with pytest.raises(ValueError, match="labels"):
+            power_table_markdown(batch, labels=["only-one"])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            verification_table_markdown([])

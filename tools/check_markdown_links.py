@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Check intra-repository links in Markdown files.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+
+For every ``[text](target)`` link whose target is not an external URL or a
+pure in-page anchor, verifies that the referenced file exists relative to
+the linking file (anchors are stripped before the check). Exits non-zero
+and lists every broken link when any target is missing.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links; images share the syntax with a leading ``!``.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not files in this repository.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link in the file."""
+    text = path.read_text(encoding="utf-8")
+    in_code_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list:
+    """Return a list of broken-link descriptions for one markdown file."""
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv) -> int:
+    """Check every file given on the command line; exit 1 on broken links."""
+    if not argv:
+        print(__doc__)
+        return 2
+    errors = []
+    checked = 0
+    for pattern in argv:
+        path = Path(pattern)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"OK: {checked} file(s), all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
