@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from benchutils import print_series
+from benchutils import emit_json, print_series
 
 
 def _end_to_end(paper_chain, n_samples):
@@ -25,8 +25,10 @@ def _end_to_end(paper_chain, n_samples):
 
 @pytest.mark.benchmark(group="snr")
 def test_end_to_end_snr(benchmark, paper_chain):
+    t0 = time.perf_counter()
     snr = benchmark.pedantic(_end_to_end, args=(paper_chain, 65536),
                              rounds=1, iterations=1)
+    elapsed_s = time.perf_counter() - t0
     enob = (snr - 1.76) / 6.02
     rows = [
         ("measured SNR (0.95*MSA tone, 20 MHz band)", f"{snr:.1f} dB"),
@@ -35,6 +37,12 @@ def test_end_to_end_snr(benchmark, paper_chain):
         ("paper resolution", "14 bits"),
     ]
     print_series("End-to-end SNR (Table I, decimated output)", ["quantity", "value"], rows)
+    emit_json("end_to_end_snr", {
+        "snr_db": snr,
+        "enob": enob,
+        "n_samples": 65536,
+        "elapsed_s": elapsed_s,
+    })
     assert snr > 80.0
     assert enob > 13.0
 

@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from benchutils import print_series
+from benchutils import emit_json, print_series
 
 
 def _run(sweep, cache_dir, workers):
@@ -37,13 +37,25 @@ def test_sweep_cache_speedup(benchmark, tmp_path):
     warm_s = warm.elapsed_s
 
     speedup = cold_s / max(warm_s, 1e-9)
+    store = cold.metadata.get("artifact_store", {})
     print_series("Design-space sweep — cache speedup",
                  ["quantity", "value", ""],
                  [("points", len(cold), ""),
                   ("cold run (s)", round(cold_s, 3), "all points executed"),
+                  ("shared-stage reuses", store.get("hits", 0),
+                   "memoized artifact hits during the cold run"),
                   ("warm run (s)", round(warm_s, 4), "all points cached"),
                   ("speedup", f"{speedup:.0f}x", ""),
                   ("reports identical", cold_json == warm_json, "bit-exact")])
+    emit_json("sweep_cache", {
+        "points": len(cold),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": speedup,
+        "executor": cold.metadata.get("executor"),
+        "artifact_store": store,
+        "reports_identical": cold_json == warm_json,
+    })
 
     assert cold.cache_misses == len(cold)
     assert warm.cache_hits == len(warm)

@@ -1,10 +1,12 @@
 """Design-space exploration: sweep the paper's flow over a parameter grid.
 
 Expands an 8-point grid around the Table I specification (two Sinc order
-splits × two output word widths × two halfband attenuation targets), runs
-every point through the full design → verify → synthesis-estimate flow on
-parallel workers with an on-disk result cache, and prints the Pareto-ranked
-report over (SNR, power, area, gate count).
+splits × two output word widths × two halfband attenuation targets) and
+runs every point through the full design → verify → synthesis-estimate
+flow on the staged, memoized sweep engine: stages shared between points
+(filter designs, mask verification) are computed once per run, results
+land in an on-disk cache, and the Pareto-ranked report over (SNR, power,
+area, gate count) is printed.
 
 Run it twice to see the cache: the second run reloads every point from
 ``.repro-sweep-cache/`` and reproduces the report byte-identically.
@@ -16,7 +18,7 @@ Run with::
 The same sweep from the shell::
 
     python -m repro sweep --sinc-orders 4,4,6 3,3,5 --output-bits 12 14 \
-        --halfband-att 80 85 --workers 4 --markdown sweep.md
+        --halfband-att 80 85 --jobs 4 --markdown sweep.md
 """
 
 from repro.explore import SweepSpec, run_sweep, sweep_report_markdown
@@ -33,7 +35,7 @@ def main() -> None:
     print(f"Sweeping {sweep.num_points()} design points "
           f"(axes: {', '.join(sweep.axes())}) ...")
 
-    result = run_sweep(sweep, workers=4, cache_dir=CACHE_DIR,
+    result = run_sweep(sweep, jobs=4, cache_dir=CACHE_DIR,
                        progress=lambda line: print(f"  {line}"))
 
     print()

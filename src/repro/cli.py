@@ -1,14 +1,17 @@
-"""Command-line interface: ``python -m repro <design|verify|sweep|report>``.
+"""Command-line interface: ``python -m repro <design|verify|sweep|report|cache>``.
 
 Every scenario in ``examples/`` is reproducible from the shell:
 
 * ``design`` — run the one-shot rapid design flow and print the full report.
 * ``verify`` — design + print the Table I compliance table; exit 1 on FAIL.
-* ``sweep``  — expand a design-space grid, run it on parallel workers with
-  the on-disk cache, and print/write the Pareto-ranked report.
+* ``sweep``  — expand a design-space grid, run it on the staged, memoized
+  sweep engine (``--jobs``/``--executor`` select the concurrency backend)
+  with the on-disk cache, and print/write the Pareto-ranked report.
 * ``report`` — re-render a saved sweep JSON report without re-running.
+* ``cache``  — ``stats`` / ``prune`` for the on-disk sweep result cache.
 
-See ``docs/GUIDE.md`` for a task-oriented walkthrough.
+See ``docs/GUIDE.md`` for a task-oriented walkthrough and
+``docs/PERFORMANCE.md`` for the engine/executor guide.
 """
 
 from __future__ import annotations
@@ -67,8 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--halfband-coeff-bits", type=int, nargs="+", default=[],
                        dest="halfband_coeff_bits",
                        help="halfband coefficient word-width axis")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="maximum concurrent point executions "
+                            "(1 runs inline with no pool; default: --workers)")
     sweep.add_argument("--workers", type=int, default=4,
-                       help="parallel worker processes (default: 4)")
+                       help="legacy alias of --jobs (default: 4)")
+    sweep.add_argument("--executor", default="auto",
+                       choices=["auto", "inline", "thread", "process"],
+                       help="executor for cache misses: inline (serial, "
+                            "no pool), thread (shared in-memory artifact "
+                            "store), process (pre-warmed store shipped to "
+                            "each worker) or auto (default)")
     sweep.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
     sweep.add_argument("--no-cache", action="store_true",
@@ -98,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output format (default: markdown)")
     report.add_argument("--out", metavar="FILE",
                         help="write to FILE instead of stdout")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk sweep result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="print entry/byte/staleness counts")
+    prune = cache_sub.add_parser(
+        "prune", help="remove stale (corrupt/old-schema) entries")
+    prune.add_argument("--older-than-days", type=float, default=None,
+                       metavar="DAYS",
+                       help="also remove valid entries older than DAYS")
+    prune.add_argument("--all", action="store_true",
+                       help="remove every entry")
+    for sub_parser in (stats, prune):
+        sub_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                                help="cache directory "
+                                     f"(default: {DEFAULT_CACHE_DIR})")
     return parser
 
 
@@ -242,6 +270,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         measure_activity=args.measure_activity,
         library=args.library,
         progress=progress,
+        jobs=args.jobs,
+        executor=args.executor,
     )
     markdown = sweep_report_markdown(result)
     _write_or_print(markdown, args.markdown)
@@ -250,9 +280,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         _write_or_print(sweep_report_json(result), args.json)
         print(f"JSON report written to {args.json}")
+    store = result.metadata.get("artifact_store", {})
     print(f"\n{len(result)} points in {result.elapsed_s:.2f}s "
-          f"({result.workers} workers, {result.cache_hits} cached, "
-          f"{result.cache_misses} executed)", file=sys.stderr)
+          f"({result.metadata.get('executor', 'inline')} executor, "
+          f"{result.workers} jobs, {result.cache_hits} cached, "
+          f"{result.cache_misses} executed, "
+          f"{store.get('hits', 0)} shared-stage reuses)", file=sys.stderr)
     return 0
 
 
@@ -265,6 +298,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
+
+    if not os.path.isdir(args.cache_dir):
+        # Inspection must not create the directory as a side effect.
+        if args.cache_command == "stats":
+            print(f"Cache directory : {args.cache_dir} (does not exist)")
+            print(f"Schema version  : {CACHE_SCHEMA_VERSION}")
+            print("Entries         : 0")
+            print("Total bytes     : 0")
+            print("Stale entries   : 0")
+        else:
+            print(f"Removed 0 cache entries from {args.cache_dir}")
+        return 0
+    cache = SweepCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"Cache directory : {stats['directory']}")
+        print(f"Schema version  : {stats['schema']}")
+        print(f"Entries         : {stats['entries']}")
+        print(f"Total bytes     : {stats['total_bytes']}")
+        print(f"Stale entries   : {stats['stale_entries']}")
+        return 0
+    older = (args.older_than_days * 86400.0
+             if args.older_than_days is not None else None)
+    removed = cache.prune(older_than_s=older, everything=args.all)
+    print(f"Removed {removed} cache entries from {cache.directory}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -273,5 +338,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify": _cmd_verify,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)

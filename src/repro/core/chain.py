@@ -34,9 +34,13 @@ chain block by block in bounded memory; the concatenated output equals
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Union)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow imports core)
+    from repro.flow.artifacts import ArtifactStore
 
 from repro.core.spec import ChainSpec, paper_chain_spec
 from repro.filters.cascade import CascadeStageDescription, MultirateCascade
@@ -157,8 +161,18 @@ class DecimationChain:
     # ------------------------------------------------------------------
     @classmethod
     def design(cls, spec: Optional[ChainSpec] = None,
-               options: Optional[ChainDesignOptions] = None) -> "DecimationChain":
-        """Design a chain for the given specification (defaults: Table I)."""
+               options: Optional[ChainDesignOptions] = None,
+               artifacts: Optional["ArtifactStore"] = None) -> "DecimationChain":
+        """Design a chain for the given specification (defaults: Table I).
+
+        ``artifacts`` is an optional
+        :class:`~repro.flow.artifacts.ArtifactStore`: the two expensive
+        design sub-stages — the Saramäki halfband CSD search and the droop
+        equalizer fit — are keyed by their actual inputs and reused across
+        design calls that share them (e.g. sweep points differing only in
+        the output word width).  The memoized path returns deep copies, so
+        results are identical to a cold design.
+        """
         spec = spec or paper_chain_spec()
         options = options or ChainDesignOptions()
 
@@ -198,13 +212,30 @@ class DecimationChain:
                          spec.decimator.stopband_attenuation_db)
         halfband = None
         for extra in range(0, 7):
-            hbf_designer = SaramakiHalfbandDesigner(
-                n1=options.halfband_n1,
-                n2=options.halfband_n2 + extra,
-                transition_start=passband_edge_norm,
-                coefficient_bits=options.halfband_coefficient_bits,
-            )
-            halfband = hbf_designer.design(target_att)
+            n2 = options.halfband_n2 + extra
+
+            def design_halfband(n2: int = n2) -> SaramakiHalfband:
+                return SaramakiHalfbandDesigner(
+                    n1=options.halfband_n1,
+                    n2=n2,
+                    transition_start=passband_edge_norm,
+                    coefficient_bits=options.halfband_coefficient_bits,
+                ).design(target_att)
+
+            if artifacts is not None:
+                from repro.core.spec import content_hash
+
+                key = ("halfband-design", content_hash({
+                    "n1": options.halfband_n1,
+                    "n2": n2,
+                    "transition_start": passband_edge_norm,
+                    "coefficient_bits": options.halfband_coefficient_bits,
+                    "target_attenuation_db": target_att,
+                }))
+                halfband = artifacts.get_or_compute(key, design_halfband,
+                                                    copy=True)
+            else:
+                halfband = design_halfband()
             if (halfband.metadata["achieved_attenuation_db"]
                     >= spec.decimator.stopband_attenuation_db):
                 break
@@ -226,21 +257,41 @@ class DecimationChain:
                                label="Scaling Stage")
 
         # Equalizer: invert the droop of everything before it over the band.
-        droop_stages = [
-            CascadeStageDescription(SincFilter(s.spec).impulse_response(), 2, s.spec.label)
-            for s in sinc_cascade.stages
-        ]
-        droop_stages.append(CascadeStageDescription(halfband.equivalent_fir(), 2, "Halfband"))
-        droop_cascade = MultirateCascade(droop_stages, fs)
-        droop_freqs = np.linspace(0.0, spec.decimator.passband_edge_hz, 512)
-        droop = droop_cascade.overall_response(droop_freqs)
-        equalizer = design_droop_equalizer(
-            droop,
-            sample_rate_hz=spec.decimator.output_rate_hz,
-            passband_hz=spec.decimator.passband_edge_hz,
-            order=options.equalizer_order,
-            max_boost_db=options.equalizer_max_boost_db,
-        )
+        def design_equalizer() -> EqualizerDesign:
+            droop_stages = [
+                CascadeStageDescription(SincFilter(s.spec).impulse_response(), 2,
+                                        s.spec.label)
+                for s in sinc_cascade.stages
+            ]
+            droop_stages.append(
+                CascadeStageDescription(halfband.equivalent_fir(), 2, "Halfband"))
+            droop_cascade = MultirateCascade(droop_stages, fs)
+            droop_freqs = np.linspace(0.0, spec.decimator.passband_edge_hz, 512)
+            droop = droop_cascade.overall_response(droop_freqs)
+            return design_droop_equalizer(
+                droop,
+                sample_rate_hz=spec.decimator.output_rate_hz,
+                passband_hz=spec.decimator.passband_edge_hz,
+                order=options.equalizer_order,
+                max_boost_db=options.equalizer_max_boost_db,
+            )
+
+        if artifacts is not None:
+            from repro.core.spec import content_hash
+
+            key = ("equalizer-design", content_hash({
+                "sinc_orders": [s.spec.order for s in sinc_cascade.stages],
+                "halfband_f1": list(halfband.f1),
+                "halfband_f2": list(halfband.f2),
+                "input_rate_hz": fs,
+                "passband_edge_hz": spec.decimator.passband_edge_hz,
+                "output_rate_hz": spec.decimator.output_rate_hz,
+                "order": options.equalizer_order,
+                "max_boost_db": options.equalizer_max_boost_db,
+            }))
+            equalizer = artifacts.get_or_compute(key, design_equalizer, copy=True)
+        else:
+            equalizer = design_equalizer()
         return cls(spec, options, sinc_cascade, halfband, scaling, equalizer)
 
     # ------------------------------------------------------------------
@@ -341,8 +392,23 @@ class DecimationChain:
         docstring).  All engines return bit-identical words; tracing for the
         power model (``collect_trace=True``) runs the Hogenauer stages on
         the reference path regardless.
+
+        ``codes`` may also be a 2-D ``(batch, n)`` array of independent
+        records: every stage then runs batch-vectorized (one cumsum/matmul
+        per stage for the whole batch) and row ``b`` of the result is
+        bit-exact to ``process_fixed(codes[b])``.  Tracing is a streaming,
+        single-record concept and is rejected for batches.
         """
         signed = self.codes_to_signed(codes)
+        if signed.ndim == 2:
+            if collect_trace:
+                raise ValueError("switching-activity tracing requires a "
+                                 "single record, not a (batch, n) array")
+            data = self._hogenauer.process_batch(signed)
+            data = self._halfband_impl.process(data, backend=backend)
+            data = self.scaling.process(data, backend=backend)
+            data = self._equalizer_impl.process(data, backend=backend)
+            return self._finalize_output(data)
         self._hogenauer.reset()
         hog_backend = "auto" if (backend == "vectorized" and collect_trace) else backend
         data = self._hogenauer.process(signed, collect_trace=collect_trace,
@@ -368,6 +434,8 @@ class DecimationChain:
             if guard > 0:
                 data = (data + (1 << (guard - 1))) >> guard
             return np.clip(data, lo, hi)
+        if data.ndim == 2:
+            return np.stack([self._finalize_output(row) for row in data])
         if guard > 0:
             half = 1 << (guard - 1)
             data = np.array([(int(v) + half) >> guard for v in data.tolist()], dtype=object)

@@ -79,7 +79,8 @@ class VerificationReport:
 def verify_chain(chain, include_snr: bool = False,
                  snr_samples: int = 65536,
                  passband_fraction: float = 0.95,
-                 backend: str = "auto") -> VerificationReport:
+                 backend: str = "auto",
+                 artifacts=None) -> VerificationReport:
     """Verify a designed chain against its specification.
 
     Parameters
@@ -99,7 +100,33 @@ def verify_chain(chain, include_snr: bool = False,
     backend:
         Bit-true chain engine for the SNR simulation (all engines are
         bit-exact).
+    artifacts:
+        Optional :class:`~repro.flow.artifacts.ArtifactStore`.  The
+        frequency-mask checks depend only on the designed filters and the
+        spec mask — not on the output word width — so chains sharing those
+        inputs reuse one memoized mask evaluation (each caller gets an
+        independent copy); the SNR check's modulator bit-stream is likewise
+        shared through the store.
     """
+    if artifacts is not None:
+        key = ("verify-mask", _mask_fingerprint(chain, passband_fraction))
+        report = artifacts.get_or_compute(
+            key, lambda: _verify_mask(chain, passband_fraction), copy=True)
+    else:
+        report = _verify_mask(chain, passband_fraction)
+
+    if include_snr:
+        dec = chain.spec.decimator
+        snr = simulated_output_snr(chain, n_samples=snr_samples,
+                                   backend=backend, artifacts=artifacts)
+        report.add("end-to-end SNR (bit-true chain)", snr, dec.target_snr_db - 3.0, ">=")
+        report.metadata["simulated_snr_db"] = snr
+
+    return report
+
+
+def _verify_mask(chain, passband_fraction: float) -> VerificationReport:
+    """The frequency-mask verification checks (everything except the SNR)."""
     spec = chain.spec
     report = VerificationReport(metadata={"passband_fraction": passband_fraction})
 
@@ -134,12 +161,37 @@ def verify_chain(chain, include_snr: bool = False,
     report.add("sinc cascade attenuation at alias-band centres", sinc_alias,
                dec.stopband_attenuation_db, ">=")
 
-    if include_snr:
-        snr = simulated_output_snr(chain, n_samples=snr_samples, backend=backend)
-        report.add("end-to-end SNR (bit-true chain)", snr, dec.target_snr_db - 3.0, ">=")
-        report.metadata["simulated_snr_db"] = snr
-
     return report
+
+
+def _mask_fingerprint(chain, passband_fraction: float) -> str:
+    """Content hash of every input the mask checks can depend on.
+
+    Deliberately excludes the output word width (and anything else the
+    checks never read), so sweep points that differ only in those reuse the
+    memoized mask report.
+    """
+    from repro.core.spec import content_hash
+
+    spec = chain.spec
+    return content_hash({
+        "sinc_orders": [s.spec.order for s in chain.sinc_cascade.stages],
+        "halfband_f1": [float(v) for v in chain.halfband.f1],
+        "halfband_f2": [float(v) for v in chain.halfband.f2],
+        "halfband_attenuation_db": float(
+            chain.halfband.metadata.get("achieved_attenuation_db", 0.0)),
+        "equalizer_taps": [float(t) for t in chain._equalizer_impl.quantized_taps],
+        "sample_rate_hz": spec.modulator.sample_rate_hz,
+        "bandwidth_hz": spec.modulator.bandwidth_hz,
+        "decimator": {
+            "passband_edge_hz": spec.decimator.passband_edge_hz,
+            "passband_ripple_db": spec.decimator.passband_ripple_db,
+            "stopband_edge_hz": spec.decimator.stopband_edge_hz,
+            "stopband_attenuation_db": spec.decimator.stopband_attenuation_db,
+            "output_rate_hz": spec.decimator.output_rate_hz,
+        },
+        "passband_fraction": passband_fraction,
+    })
 
 
 def simulated_output_snr(chain, n_samples: int = 65536,
@@ -147,7 +199,8 @@ def simulated_output_snr(chain, n_samples: int = 65536,
                          amplitude: Optional[float] = None,
                          seed_phase: float = 0.0,
                          backend: str = "auto",
-                         modulator_engine: str = "fast") -> float:
+                         modulator_engine: str = "fast",
+                         artifacts=None) -> float:
     """Modulator → bit-true chain → SNR measurement (the Table I bottom row).
 
     Parameters
@@ -161,38 +214,104 @@ def simulated_output_snr(chain, n_samples: int = 65536,
         error-feedback loop is ~10× faster than the reference
         ``"error-feedback"`` engine with statistically identical noise
         shaping (pass the latter to reproduce historical bit-streams).
+    artifacts:
+        Optional :class:`~repro.flow.artifacts.ArtifactStore`.  The
+        modulator bit-stream depends only on the modulator spec and the
+        stimulus — not on the chain — so every chain sharing those
+        simulates the modulator once (see :func:`modulator_tone_codes`).
     """
-    from repro.dsm.modulator import DeltaSigmaModulator
-    from repro.dsm.signals import coherent_tone
+    spec = chain.spec
+    exact_tone_hz, amplitude, total, settle_outputs = snr_stimulus_parameters(
+        chain, n_samples, tone_hz=tone_hz, amplitude=amplitude)
+    codes = modulator_tone_codes(spec.modulator, exact_tone_hz, amplitude,
+                                 total, seed_phase=seed_phase,
+                                 engine=modulator_engine, artifacts=artifacts)
+    return chain.measure_output_snr(codes, exact_tone_hz,
+                                    discard_outputs=settle_outputs,
+                                    analyze_outputs=n_samples // chain.total_decimation,
+                                    backend=backend)
+
+
+def snr_stimulus_parameters(chain, n_samples: int,
+                            tone_hz: Optional[float] = None,
+                            amplitude: Optional[float] = None):
+    """The SNR-leg stimulus derived from a chain: ``(exact_tone_hz,
+    amplitude, total_samples, settle_outputs)``.
+
+    Single source of truth shared by :func:`simulated_output_snr` and the
+    sweep runner's process-executor warming
+    (:func:`repro.flow.pipeline.warm_flow_artifacts`) — both must key the
+    memoized modulator bit-stream identically, or warming silently stops
+    matching.  The stimulus is padded with enough extra samples to flush
+    the chain's group delay, so the analyzed output record stays coherent
+    with the tone.
+    """
+    from repro.dsm.signals import ToneSpec
 
     spec = chain.spec
-    modulator = DeltaSigmaModulator(
-        order=spec.modulator.order,
-        osr=spec.modulator.osr,
-        quantizer_bits=spec.modulator.quantizer_bits,
-        sample_rate_hz=spec.modulator.sample_rate_hz,
-        h_inf=spec.modulator.out_of_band_gain,
-    )
     if tone_hz is None:
         tone_hz = spec.modulator.bandwidth_hz / 4.0
     if amplitude is None:
         amplitude = spec.modulator.msa * 0.95
-
-    # Pad the stimulus with enough extra samples to flush the chain's group
-    # delay, so the analyzed output record stays coherent with the tone.
-    decimation = chain.total_decimation
     settle_outputs = chain._settle_samples()
-    pad_inputs = settle_outputs * decimation
-    from repro.dsm.signals import ToneSpec
+    tone_spec = ToneSpec(tone_hz, amplitude, spec.modulator.sample_rate_hz,
+                         n_samples)
+    total = n_samples + settle_outputs * chain.total_decimation
+    return tone_spec.coherent_frequency_hz, amplitude, total, settle_outputs
 
-    tone_spec = ToneSpec(tone_hz, amplitude, spec.modulator.sample_rate_hz, n_samples)
-    exact_tone_hz = tone_spec.coherent_frequency_hz
-    total = n_samples + pad_inputs
-    t = np.arange(total)
-    stimulus = amplitude * np.sin(
-        2.0 * np.pi * exact_tone_hz / spec.modulator.sample_rate_hz * t + seed_phase)
-    result = modulator.simulate(stimulus, engine=modulator_engine)
-    return chain.measure_output_snr(result.codes, exact_tone_hz,
-                                    discard_outputs=settle_outputs,
-                                    analyze_outputs=n_samples // decimation,
-                                    backend=backend)
+
+def modulator_tone_codes(modulator_spec, tone_hz: float, amplitude: float,
+                         n_total: int, seed_phase: float = 0.0,
+                         engine: str = "fast", artifacts=None) -> np.ndarray:
+    """Modulator output codes for a sine stimulus, memoized per spec + tone.
+
+    The delta-sigma loop is causal, so a record simulated for ``N`` samples
+    is the exact prefix of the record simulated for ``M > N`` samples of the
+    same stimulus.  The store therefore keeps one entry per
+    ``(modulator spec, stimulus)`` holding the longest record computed so
+    far: shorter requests slice it (bit-identical to a dedicated
+    simulation), longer requests re-simulate and replace it.  This is what
+    lets every sweep point sharing a modulator spec pay for exactly one
+    modulator simulation even when their decimation chains need slightly
+    different settle padding.
+    """
+    def simulate(total: int) -> np.ndarray:
+        from repro.dsm.modulator import DeltaSigmaModulator
+
+        modulator = DeltaSigmaModulator(
+            order=modulator_spec.order,
+            osr=modulator_spec.osr,
+            quantizer_bits=modulator_spec.quantizer_bits,
+            sample_rate_hz=modulator_spec.sample_rate_hz,
+            h_inf=modulator_spec.out_of_band_gain,
+        )
+        t = np.arange(total)
+        stimulus = amplitude * np.sin(
+            2.0 * np.pi * tone_hz / modulator_spec.sample_rate_hz * t + seed_phase)
+        return modulator.simulate(stimulus, engine=engine).codes
+
+    if artifacts is None:
+        return simulate(n_total)
+
+    from repro.core.spec import content_hash
+
+    key = ("modulator-codes", content_hash({
+        "order": modulator_spec.order,
+        "osr": modulator_spec.osr,
+        "quantizer_bits": modulator_spec.quantizer_bits,
+        "sample_rate_hz": modulator_spec.sample_rate_hz,
+        "out_of_band_gain": modulator_spec.out_of_band_gain,
+        "tone_hz": tone_hz,
+        "amplitude": amplitude,
+        "seed_phase": seed_phase,
+        "engine": engine,
+    }))
+    with artifacts.lock_for(key):
+        entry = artifacts.get(key)
+        if entry is not None and entry["n_samples"] >= n_total:
+            artifacts.count_hit()
+            return entry["codes"][:n_total]
+        codes = simulate(n_total)
+        artifacts.put(key, {"n_samples": n_total, "codes": codes})
+        artifacts.count_miss()
+        return codes

@@ -72,6 +72,47 @@ class SimulationResult:
         return len(self.output)
 
 
+@dataclass
+class BatchSimulationResult:
+    """Output of a batched modulator simulation over independent records.
+
+    Arrays carry a leading batch axis: row ``b`` is bit-exact to the
+    per-record simulation of input row ``b`` (the tests pin this).
+
+    Attributes
+    ----------
+    output, codes, quantizer_input:
+        ``(batch, n)`` arrays; per-record meaning as in
+        :class:`SimulationResult`.
+    stable:
+        ``(batch,)`` boolean array, one stability verdict per record.
+    """
+
+    output: np.ndarray
+    codes: np.ndarray
+    quantizer_input: np.ndarray
+    stable: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def batch_size(self) -> int:
+        return self.output.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        return self.output.shape[1]
+
+    def record(self, index: int) -> SimulationResult:
+        """View one row as a per-record :class:`SimulationResult`."""
+        return SimulationResult(
+            output=self.output[index],
+            codes=self.codes[index],
+            quantizer_input=self.quantizer_input[index],
+            stable=bool(self.stable[index]),
+            metadata=dict(self.metadata, batch_index=index),
+        )
+
+
 class ErrorFeedbackSimulator:
     """Error-feedback simulation of a delta-sigma loop with unity STF.
 
@@ -202,6 +243,61 @@ class FastErrorFeedbackSimulator:
             metadata={"engine": "error-feedback-fast", "order": order},
         )
 
+    def simulate_batch(self, u: np.ndarray) -> BatchSimulationResult:
+        """Run the loop on a ``(batch, n)`` array of independent records.
+
+        Sequential in time, vectorized across records: each time step
+        evaluates the same scalar recurrence as :meth:`simulate` but as
+        elementwise numpy operations over the batch, in the same
+        expression order.  Elementwise IEEE arithmetic matches the scalar
+        path operation for operation (``np.rint`` is the same
+        round-half-to-even as Python's ``round``), so every row is
+        **bit-exact** to its per-record simulation — including the chaotic
+        quantizer decisions — while the per-sample Python overhead is paid
+        once per time step instead of once per record.
+        """
+        u = np.asarray(u, dtype=float)
+        if u.ndim != 2:
+            raise ValueError("simulate_batch expects a 2-D (batch, n) array")
+        batch, n = u.shape
+        order = len(self._den) - 1
+        num = self._num
+        den = self._den
+        states = [np.zeros(batch) for _ in range(order)]
+        output = np.empty((batch, n))
+        quantizer_input = np.empty((batch, n))
+        codes = np.empty((batch, n), dtype=np.int64)
+        unstable = np.zeros(batch, dtype=bool)
+        full_scale = self.quantizer.full_scale
+        step = self.quantizer.step
+        top_code = self.quantizer.levels - 1
+        limit = self.INSTABILITY_THRESHOLD * full_scale
+        for i in range(n):
+            feedback = states[0]
+            y = u[:, i] - feedback
+            code = np.rint((y + full_scale) / step)
+            np.clip(code, 0.0, float(top_code), out=code)
+            v = code * step - full_scale
+            e = v - y
+            # The list rebinding below never mutates the arrays `feedback`
+            # and `states[j + 1]` still reference, so the update order
+            # matches the scalar loop exactly.
+            for j in range(order - 1):
+                states[j] = num[j + 1] * e + states[j + 1] - den[j + 1] * feedback
+            states[order - 1] = num[order] * e - den[order] * feedback
+            output[:, i] = v
+            quantizer_input[:, i] = y
+            codes[:, i] = code.astype(np.int64)
+            unstable |= (y > limit) | (y < -limit)
+        return BatchSimulationResult(
+            output=output,
+            codes=codes,
+            quantizer_input=quantizer_input,
+            stable=~unstable,
+            metadata={"engine": "error-feedback-fast", "order": order,
+                      "batched": True},
+        )
+
 
 class StateSpaceSimulator:
     """State-space simulation of the loop filter ``L1(z) = 1/NTF - 1``.
@@ -322,6 +418,21 @@ class DeltaSigmaModulator:
             return StateSpaceSimulator(self.ntf, self.quantizer).simulate(u)
         raise ValueError(f"unknown simulation engine {engine!r}")
 
+    def simulate_batch(self, u: np.ndarray,
+                       engine: str = "fast") -> BatchSimulationResult:
+        """Simulate a ``(batch, n)`` array of independent input records.
+
+        Only the fast recursive engine supports batching (its scalar
+        recurrence vectorizes across records while staying bit-exact; see
+        :meth:`FastErrorFeedbackSimulator.simulate_batch`).
+        """
+        if engine not in ("error-feedback-fast", "fast"):
+            raise ValueError(
+                f"batched simulation requires the fast engine, got {engine!r}")
+        if self._fast_simulator is None:
+            self._fast_simulator = FastErrorFeedbackSimulator(self.ntf, self.quantizer)
+        return self._fast_simulator.simulate_batch(u)
+
     def bitstream_for_tone(self, frequency_hz: float, amplitude: float,
                            n_samples: int) -> SimulationResult:
         """Convenience: simulate the modulator driven by a coherent tone."""
@@ -334,13 +445,24 @@ class DeltaSigmaModulator:
     # Maximum stable amplitude
     # ------------------------------------------------------------------
     def estimate_msa(self, n_samples: int = 8192, amplitude_grid: Optional[np.ndarray] = None,
-                     frequency_hz: Optional[float] = None) -> float:
+                     frequency_hz: Optional[float] = None,
+                     engine: str = "fast") -> float:
         """Empirically estimate the maximum stable amplitude.
 
         The modulator is driven with tones of increasing amplitude; the MSA
         is the largest amplitude for which the loop remains stable (bounded
         quantizer input and no saturation-dominated behaviour).  The paper
         reports MSA = 0.81 of full scale for the 5th-order design.
+
+        ``engine`` selects the simulation backend.  The default ``"fast"``
+        engine runs the **whole amplitude grid as one batched simulation**
+        (:meth:`simulate_batch` — every amplitude is a row of the batch)
+        and then applies the first-failure rule, roughly an order of
+        magnitude faster than sweeping the grid one amplitude at a time;
+        ``"error-feedback"`` keeps the reference per-amplitude loop (which
+        stops simulating at the first unstable amplitude).  Both engines
+        report the same MSA on the paper's design — the loop's stability
+        boundary is an engine-independent statistic.
         """
         if amplitude_grid is None:
             amplitude_grid = np.linspace(0.5, 1.0, 26)
@@ -348,11 +470,26 @@ class DeltaSigmaModulator:
             frequency_hz = self.signal_bandwidth_hz / 8.0
         from repro.dsm.signals import coherent_tone
 
+        if engine in ("error-feedback-fast", "fast"):
+            tones = np.stack([
+                coherent_tone(frequency_hz, float(a), self.sample_rate_hz, n_samples)
+                for a in amplitude_grid])
+            batch = self.simulate_batch(tones, engine=engine)
+            sat_fraction = np.mean(
+                self.quantizer.is_saturating(batch.quantizer_input), axis=1)
+            acceptable = batch.stable & (sat_fraction < 0.2)
+            last_stable = 0.0
+            for amplitude, ok in zip(amplitude_grid, acceptable):
+                if not ok:
+                    break
+                last_stable = float(amplitude)
+            return last_stable
+
         last_stable = 0.0
         for amplitude in amplitude_grid:
             tone = coherent_tone(frequency_hz, float(amplitude),
                                  self.sample_rate_hz, n_samples)
-            result = self.simulate(tone)
+            result = self.simulate(tone, engine=engine)
             sat_fraction = float(np.mean(self.quantizer.is_saturating(result.quantizer_input)))
             if result.stable and sat_fraction < 0.2:
                 last_stable = float(amplitude)

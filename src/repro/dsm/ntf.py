@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -231,10 +232,16 @@ def _butterworth_highpass_poles(order: int, corner: float) -> np.ndarray:
     return np.asarray(poles, dtype=complex)
 
 
+@lru_cache(maxsize=64)
 def synthesize_ntf(order: int = 5, osr: int = 16, h_inf: float = 3.0,
                    optimize_zeros: bool = True,
                    f0: float = 0.0) -> NoiseTransferFunction:
     """Synthesize a low-pass delta-sigma NTF.
+
+    Synthesis is deterministic in its arguments and the returned
+    :class:`NoiseTransferFunction` is never mutated, so results are
+    memoized — a design-space sweep constructs the same modulator NTF for
+    every point that shares a modulator spec.
 
     Parameters
     ----------

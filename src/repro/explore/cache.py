@@ -11,12 +11,16 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Optional, Union
 
-#: Bump when the record layout changes so stale entries miss instead of
-#: deserializing into the wrong shape.
-CACHE_SCHEMA_VERSION = 1
+#: Bump when the record layout (or the numerics that produce it) changes so
+#: stale entries miss instead of deserializing into the wrong shape.
+#: Version 2: the halfband zero-phase response switched to a multiplication
+#: recurrence (last-ulp different from the old ``pow`` evaluation), which
+#: can steer the CSD refinement to different coefficients.
+CACHE_SCHEMA_VERSION = 2
 
 
 class SweepCache:
@@ -73,6 +77,68 @@ class SweepCache:
             path.unlink()
             removed += 1
         return removed
+
+    def stats(self) -> dict:
+        """Summary of the on-disk cache: entry/byte counts and staleness.
+
+        ``stale_entries`` counts files that are corrupt or carry a schema
+        version other than :data:`CACHE_SCHEMA_VERSION` (these always miss
+        and are reclaimable with :meth:`prune`).
+        """
+        entries = 0
+        total_bytes = 0
+        stale = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self.directory.glob("*.json"):
+            entries += 1
+            stat = path.stat()
+            total_bytes += stat.st_size
+            oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+            newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+            if self._is_stale(path):
+                stale += 1
+        return {
+            "directory": str(self.directory),
+            "schema": CACHE_SCHEMA_VERSION,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "stale_entries": stale,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, older_than_s: Optional[float] = None,
+              everything: bool = False) -> int:
+        """Remove reclaimable entries; returns the number deleted.
+
+        Always removes corrupt and schema-mismatched files (they can never
+        hit).  ``older_than_s`` additionally removes valid entries whose
+        file is older than that many seconds; ``everything=True`` empties
+        the cache (same as :meth:`clear`).
+        """
+        if everything:
+            return self.clear()
+        now = time.time()
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            stale = self._is_stale(path)
+            expired = (older_than_s is not None
+                       and now - path.stat().st_mtime > older_than_s)
+            if stale or expired:
+                path.unlink()
+                removed += 1
+        return removed
+
+    def _is_stale(self, path: Path) -> bool:
+        """Whether a cache file is corrupt or schema-mismatched."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return True
+        return (not isinstance(entry, dict)
+                or entry.get("schema") != CACHE_SCHEMA_VERSION)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

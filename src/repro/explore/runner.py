@@ -1,18 +1,34 @@
-"""Parallel batch execution of design-space sweeps with an on-disk cache.
+"""Staged, memoized, batch execution of design-space sweeps.
 
 :func:`run_sweep` expands a :class:`~repro.explore.sweep.SweepSpec`, checks
-each point against the :class:`~repro.explore.cache.SweepCache`, runs the
-misses through :func:`repro.flow.run_design_flow` on a
-``concurrent.futures`` worker pool, and assembles everything into a
-:class:`SweepResult` that the Pareto ranking and the report renderers
-consume.  Records are plain JSON-serializable dictionaries, so a cached
-re-run reproduces bit-identical reports.
+each point against the on-disk :class:`~repro.explore.cache.SweepCache`,
+runs the misses through the staged :func:`repro.flow.run_design_flow`, and
+assembles everything into a :class:`SweepResult` that the Pareto ranking
+and the report renderers consume.  Records are plain JSON-serializable
+dictionaries, so a cached re-run reproduces bit-identical reports.
+
+Two layers make the cold path fast:
+
+* **Shared-stage memoization** — every run owns one in-memory
+  :class:`~repro.flow.artifacts.ArtifactStore`; the flow's expensive
+  stages (halfband CSD search, equalizer fit, mask verification, modulator
+  bit-stream) are keyed by their actual inputs, so the N points that share
+  a stage compute it once.  Memoized results are bit-identical to cold
+  computation, which the tests pin.
+* **Executor selection** — ``executor="inline"`` runs misses serially in
+  this process (no pool, no pickling; always used for ``jobs=1`` or a
+  single miss), ``"thread"`` shares the artifact store across a thread
+  pool (the stages are NumPy-dominated, so threads parallelize well
+  without any payload shipping), and ``"process"`` pre-warms the shared
+  store in the parent, ships it **once per worker** through the pool
+  initializer, and submits points in chunks.  ``"auto"`` picks inline for
+  tiny runs and threads otherwise.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -20,12 +36,29 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
 from repro.explore.pareto import DEFAULT_OBJECTIVES, Objective, pareto_rank
 from repro.explore.sweep import SweepPoint, SweepSpec
+from repro.flow.artifacts import ArtifactStore
 
-def _execute_point(payload: dict) -> dict:
+#: Executor names accepted by :func:`run_sweep`.
+EXECUTORS = ("auto", "inline", "thread", "process")
+
+#: Artifact store installed in each process-pool worker by the pool
+#: initializer (shipped once per worker instead of once per payload).
+_WORKER_STORE: Optional[ArtifactStore] = None
+
+
+def _init_worker(store: ArtifactStore) -> None:
+    """Process-pool initializer: install the pre-warmed artifact store."""
+    global _WORKER_STORE
+    _WORKER_STORE = store
+
+
+def _execute_point(payload: dict, artifacts: Optional[ArtifactStore] = None) -> dict:
     """Run one sweep point's design flow and return its JSON-safe record.
 
     Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
-    it; the payload carries only plain dictionaries.
+    it; the payload carries only plain dictionaries.  ``artifacts`` is the
+    run's shared store (inline/thread executors pass it directly; process
+    workers fall back to the store installed by :func:`_init_worker`).
     """
     from repro.core.chain import ChainDesignOptions
     from repro.core.designer import predicted_snr_after_decimation
@@ -33,6 +66,8 @@ def _execute_point(payload: dict) -> dict:
     from repro.flow.pipeline import run_design_flow
     from repro.hardware.stdcell import library_by_name
 
+    if artifacts is None:
+        artifacts = _WORKER_STORE
     spec = ChainSpec.from_dict(payload["spec"])
     options = ChainDesignOptions.from_dict(payload["options"])
     flow = payload["flow"]
@@ -44,12 +79,27 @@ def _execute_point(payload: dict) -> dict:
         snr_samples=flow["snr_samples"],
         measure_activity=flow["measure_activity"],
         backend=flow["backend"],
+        artifacts=artifacts,
     )
     record = result.record()
     record["predicted_snr_db"] = float(predicted_snr_after_decimation(
         spec, result.chain.summary()["sinc_orders"]))
     record["simulated_snr_db"] = result.simulated_snr_db
     return record
+
+
+def _execute_point_in_worker(payload: dict) -> tuple:
+    """Process-pool task: the point record plus this task's artifact
+    hit/miss deltas, so the parent can fold worker-side stage reuse into
+    the run telemetry (each worker's store counters are cumulative across
+    its chunk, hence the before/after delta)."""
+    before = _WORKER_STORE.stats() if _WORKER_STORE is not None else None
+    record = _execute_point(payload)
+    if before is None:
+        return record, 0, 0
+    after = _WORKER_STORE.stats()
+    return (record, after["hits"] - before["hits"],
+            after["misses"] - before["misses"])
 
 
 @dataclass
@@ -152,7 +202,10 @@ def run_sweep(sweep: SweepSpec,
               measure_activity: bool = False,
               backend: str = "auto",
               library: str = "generic-45nm",
-              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+              progress: Optional[Callable[[str], None]] = None,
+              jobs: Optional[int] = None,
+              executor: str = "auto",
+              chunk_size: Optional[int] = None) -> SweepResult:
     """Execute every point of a design-space sweep, in parallel, with caching.
 
     Parameters
@@ -160,14 +213,15 @@ def run_sweep(sweep: SweepSpec,
     sweep:
         The declarative grid to expand and run.
     workers:
-        Worker processes for the cache misses; ``1`` runs inline (no pool),
-        higher values use a :class:`concurrent.futures.ProcessPoolExecutor`.
+        Legacy name for ``jobs`` (kept for call-site compatibility);
+        ``jobs`` wins when both are given.
     cache_dir:
         Directory of the on-disk result cache; ``None`` disables caching.
     include_snr:
         Simulate the modulator + bit-true chain per point for the measured
         end-to-end SNR (slower); otherwise the reports fall back to the
-        designer's linear-model SNR estimate.
+        designer's linear-model SNR estimate.  Points sharing a modulator
+        spec simulate the modulator once (shared-stage memoization).
     snr_samples:
         Modulator samples for the per-point SNR simulation.
     measure_activity:
@@ -179,7 +233,20 @@ def run_sweep(sweep: SweepSpec,
     library:
         Standard-cell library name (``"generic-45nm"`` or ``"generic-90nm"``).
     progress:
-        Optional callback invoked with one line per completed point.
+        Optional callback invoked with one line per completed point
+        (``[cache] <label>`` for hits, ``[run i/N] <label>`` for misses).
+    jobs:
+        Maximum concurrent point executions.  ``1`` always runs inline —
+        no pool is created and nothing is pickled.
+    executor:
+        ``"inline"``, ``"thread"``, ``"process"`` or ``"auto"`` (see the
+        module docstring).  ``"auto"`` runs inline when ``jobs == 1`` or at
+        most one point misses the cache, and on a thread pool otherwise.
+        All executors share the run's artifact store and produce identical
+        reports.
+    chunk_size:
+        Points per task submitted to the process pool (default: enough for
+        ~4 chunks per worker).  Ignored by the other executors.
 
     Returns
     -------
@@ -189,6 +256,12 @@ def run_sweep(sweep: SweepSpec,
     from repro.hardware.stdcell import library_by_name
 
     library_by_name(library)  # validate eagerly, before any work
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of "
+                         f"{', '.join(EXECUTORS)}")
+    n_jobs = int(jobs if jobs is not None else workers)
+    if n_jobs < 1:
+        raise ValueError("jobs must be at least 1")
     flow_settings = {
         "include_snr": bool(include_snr),
         "snr_samples": int(snr_samples),
@@ -217,22 +290,55 @@ def run_sweep(sweep: SweepSpec,
         else:
             pending.append(point)
 
+    completed = 0
+
     def finish(point: SweepPoint, record: dict) -> None:
+        nonlocal completed
+        completed += 1
         records[point.index] = record
         from_cache[point.index] = False
         if cache is not None:
             cache.put(keys[point.index], record)
         if progress is not None:
-            progress(f"[run]   {point.label}")
+            progress(f"[run {completed}/{len(pending)}] {point.label}")
 
+    store = ArtifactStore()
+    mode = _resolve_executor(executor, n_jobs, len(pending))
     payloads = [{**p.payload(), "flow": flow_settings} for p in pending]
-    if pending and workers > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            for point, record in zip(pending, pool.map(_execute_point, payloads)):
-                finish(point, record)
-    else:
+    if mode == "inline":
         for point, payload in zip(pending, payloads):
-            finish(point, _execute_point(payload))
+            finish(point, _execute_point(payload, store))
+    elif mode == "thread":
+        with ThreadPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
+            results = pool.map(lambda p: _execute_point(p, store), payloads)
+            for point, record in zip(pending, results):
+                finish(point, record)
+    elif mode == "process":
+        # Warm the stages genuinely shared by >= 2 points once in the
+        # parent, then ship the store to each worker through the
+        # initializer (once per worker, not once per payload) and submit
+        # the points in chunks.  Points with unique designs are *not*
+        # warmed — their full flow runs in the pool, keeping distinct-
+        # design grids parallel (each worker still dedups across its own
+        # chunk through its copy of the store).
+        from repro.flow.pipeline import warm_flow_artifacts
+
+        for point in _points_worth_warming(pending, include_snr):
+            warm_flow_artifacts(point.spec, point.options, store,
+                                include_snr_simulation=include_snr,
+                                snr_samples=snr_samples)
+        n_workers = min(n_jobs, len(pending))
+        chunk = chunk_size or max(1, -(-len(pending) // (n_workers * 4)))
+        with ProcessPoolExecutor(max_workers=n_workers,
+                                 initializer=_init_worker,
+                                 initargs=(store,)) as pool:
+            results = pool.map(_execute_point_in_worker, payloads,
+                               chunksize=chunk)
+            for point, (record, d_hits, d_misses) in zip(pending, results):
+                # Fold worker-side stage reuse into the parent's telemetry.
+                store.hits += d_hits
+                store.misses += d_misses
+                finish(point, record)
 
     elapsed = time.perf_counter() - started
     results = [SweepPointResult(point=point, cache_key=keys[point.index],
@@ -245,9 +351,65 @@ def run_sweep(sweep: SweepSpec,
         elapsed_s=elapsed,
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=len(pending),
-        workers=workers,
-        metadata={"num_points": len(points), "axes": _axes_json(sweep)},
+        workers=n_jobs,
+        metadata={"num_points": len(points), "axes": _axes_json(sweep),
+                  "executor": mode, "artifact_store": store.stats()},
     )
+
+
+def _points_worth_warming(pending: Sequence[SweepPoint],
+                          include_snr: bool) -> List[SweepPoint]:
+    """Representatives of every stage-sharing group of size >= 2.
+
+    Two signatures capture the engine's actual sharing: the *design*
+    signature (spec + options minus the output word width — points equal
+    under it share the halfband/equalizer designs and the mask
+    verification) and, for SNR sweeps, the *modulator* signature (points
+    equal under it share the bit-stream).  One representative per
+    multi-point group is warmed in the parent; singleton groups run their
+    whole flow in the pool so distinct-design grids stay parallel.
+    """
+    from repro.core.spec import content_hash
+
+    design_groups: Dict[str, List[SweepPoint]] = {}
+    modulator_groups: Dict[str, List[SweepPoint]] = {}
+    for point in pending:
+        spec_dict = point.spec.to_dict()
+        spec_dict.get("decimator", {}).pop("output_bits", None)
+        design_sig = content_hash({"spec": spec_dict,
+                                   "options": point.options.to_dict()})
+        design_groups.setdefault(design_sig, []).append(point)
+        if include_snr:
+            modulator_sig = content_hash(point.spec.to_dict()["modulator"])
+            modulator_groups.setdefault(modulator_sig, []).append(point)
+
+    chosen: List[SweepPoint] = []
+    warmed_indices = set()
+    for group in design_groups.values():
+        if len(group) > 1:
+            chosen.append(group[0])
+            warmed_indices.add(group[0].index)
+    for group in modulator_groups.values():
+        if len(group) > 1 and not any(p.index in warmed_indices for p in group):
+            chosen.append(group[0])
+            warmed_indices.add(group[0].index)
+    return chosen
+
+
+def _resolve_executor(executor: str, jobs: int, n_pending: int) -> str:
+    """Pick the concrete executor for a run.
+
+    ``jobs == 1`` and single-miss (or miss-free) runs always execute
+    inline: a pool would only add process spawn and payload pickling
+    overhead without any concurrency.  ``"auto"`` otherwise prefers the
+    thread executor — the flow's hot stages are NumPy-dominated and share
+    the artifact store without any serialization.
+    """
+    if jobs <= 1 or n_pending <= 1:
+        return "inline"
+    if executor == "auto":
+        return "thread"
+    return executor
 
 
 def _axes_json(sweep: SweepSpec) -> Dict[str, list]:

@@ -34,6 +34,7 @@ kernel).  With ``n1 = 3`` and ``n2 = 6`` the equivalent FIR order is
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -100,6 +101,35 @@ def design_halfband_remez(order: int, transition_start: float,
             taps[k] = 0.0
     taps[centre] = 0.5
     return taps
+
+
+#: Cached odd-harmonic cosine bases keyed by ``(n2, w.tobytes())``.  The CSD
+#: refinement search evaluates the stopband response of hundreds of candidate
+#: coefficient sets on the *same* frequency grid; the ``cos((2j+1)·w)`` rows
+#: depend only on the grid, so caching them removes the dominant cost of the
+#: search while leaving the accumulation (and therefore every float) exactly
+#: as before.  Bounded to a handful of grids (attenuation + ripple + plot)
+#: and lock-guarded: the sweep runner's thread executor designs halfbands
+#: concurrently.
+_COS_BASIS_CACHE: "dict[tuple, np.ndarray]" = {}
+_COS_BASIS_CACHE_MAX = 8
+_COS_BASIS_LOCK = threading.Lock()
+
+
+def _cos_basis(w: np.ndarray, n2: int) -> np.ndarray:
+    """Rows ``cos((2j+1)·w)`` for ``j = 0..n2-1``, memoized on the grid."""
+    key = (n2, w.shape[0], w.tobytes())
+    with _COS_BASIS_LOCK:
+        basis = _COS_BASIS_CACHE.get(key)
+    if basis is None:
+        basis = np.empty((n2, len(w)))
+        for j in range(n2):
+            basis[j] = np.cos((2 * j + 1) * w)
+        with _COS_BASIS_LOCK:
+            while len(_COS_BASIS_CACHE) >= _COS_BASIS_CACHE_MAX:
+                _COS_BASIS_CACHE.pop(next(iter(_COS_BASIS_CACHE)))
+            _COS_BASIS_CACHE[key] = basis
+    return basis
 
 
 def halfband_zero_phase_response(taps: np.ndarray, frequencies: np.ndarray) -> np.ndarray:
@@ -209,12 +239,21 @@ class SaramakiHalfband:
     def zero_phase_response(self, frequencies: np.ndarray) -> np.ndarray:
         """Zero-phase response via the polynomial-in-F2 formula (fast path)."""
         w = 2.0 * np.pi * np.asarray(frequencies, dtype=float)
+        basis = _cos_basis(w, self.n2)
         f2_resp = np.zeros(len(w))
         for j in range(self.n2):
-            f2_resp += 2.0 * self.f2[j] * np.cos((2 * j + 1) * w)
+            f2_resp += 2.0 * self.f2[j] * basis[j]
         h = np.full(len(w), 0.5)
-        for i in range(self.n1):
-            h += self.f1[i] * f2_resp ** (2 * i + 1)
+        # Odd powers by multiplication recurrence: libm ``pow`` on the
+        # (mostly negative) sub-filter response is ~35x slower than two
+        # elementwise multiplies, and this response is evaluated hundreds
+        # of times per CSD refinement search.
+        f2_sq = f2_resp * f2_resp
+        power = f2_resp
+        h += self.f1[0] * power
+        for i in range(1, self.n1):
+            power = power * f2_sq
+            h += self.f1[i] * power
         return h
 
     def frequency_response(self, sample_rate_hz: float,
@@ -479,6 +518,19 @@ class HalfbandDecimator:
         bit-identical, differing only in dtype (``int64`` vs object).
         """
         samples = np.asarray(samples)
+        if samples.ndim == 2:
+            # Batch axis: vectorized rows in one strided matmul, reference
+            # rows one at a time (both bit-exact to the per-record path).
+            backend = resolve_int_backend(samples, self._abs_tap_sum, backend)
+            if backend == "vectorized":
+                count = (samples.shape[-1] + 1) // 2
+                half = 1 << (self.coefficient_bits - 1)
+                decimated = convolve_strided_matmul(
+                    samples.astype(np.int64), self._int_taps.astype(np.int64),
+                    offset=(self.n_taps - 1) // 2, step=2, count=count)
+                return (decimated + half) >> self.coefficient_bits
+            return np.stack([self.process(row, backend=backend)
+                             for row in samples])
         if len(samples) == 0:
             return np.zeros(0, dtype=np.int64)
         backend = resolve_int_backend(samples, self._abs_tap_sum, backend)

@@ -114,28 +114,38 @@ def convolve_strided_matmul(samples: np.ndarray, taps: np.ndarray,
     sample", discarding the convolution tail).  The dtype follows numpy
     promotion: integer inputs stay integer (exact if the accumulator fits
     the dtype), float inputs produce floats.
+
+    ``samples`` may also be a 2-D ``(batch, n)`` array: each row is
+    convolved independently (same windows, same matmul) and the result has
+    shape ``(batch, count)``.  Row ``b`` of the batched output is bit-exact
+    to the 1-D call on ``samples[b]`` — the windows are assembled per row
+    and the integer (or elementwise float) matmul does not mix rows.
     """
     x = np.asarray(samples)
     t = np.asarray(taps)
     if t.ndim != 1 or len(t) == 0:
         raise ValueError("taps must be a non-empty 1-D array")
+    if x.ndim not in (1, 2):
+        raise ValueError("samples must be a 1-D record or a 2-D (batch, n) array")
     if step < 1:
         raise ValueError("step must be at least 1")
     if offset < 0:
         raise ValueError("offset must be non-negative")
-    n = len(x)
+    n = x.shape[-1]
     length = len(t)
     if count is None:
         count = max(0, -(-(n - offset) // step))
     if count == 0:
-        return np.zeros(0, dtype=np.result_type(x, t))
+        shape = (0,) if x.ndim == 1 else (x.shape[0], 0)
+        return np.zeros(shape, dtype=np.result_type(x, t))
     last = offset + (count - 1) * step
     # Left-pad by L-1 so window i starts at full-convolution index i; right-pad
     # so the last requested window exists (np.convolve's implicit zeros).
     pad_right = max(0, last - (n - 1))
-    padded = np.concatenate([np.zeros(length - 1, dtype=x.dtype), x,
-                             np.zeros(pad_right, dtype=x.dtype)])
-    windows = sliding_window_view(padded, length)[offset:last + 1:step]
+    pad = [(0, 0)] * (x.ndim - 1) + [(length - 1, pad_right)]
+    padded = np.pad(x, pad)
+    windows = sliding_window_view(padded, length, axis=-1)
+    windows = windows[..., offset:last + 1:step, :]
     return windows @ t[::-1]
 
 

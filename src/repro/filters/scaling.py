@@ -103,8 +103,12 @@ class ScalingStage:
         backend = resolve_int_backend(samples, abs(self._int_multiplier), backend)
         half = 1 << (self.coefficient_bits - 1)
         if backend == "vectorized":
+            # Elementwise, so a 2-D (batch, n) input works unchanged.
             product = samples.astype(np.int64) * np.int64(self._int_multiplier)
             return (product + half) >> self.coefficient_bits
+        if samples.ndim == 2:
+            return np.stack([self.process(row, backend=backend)
+                             for row in samples])
         ints = [int(v) for v in samples.tolist()]
         out = []
         for value in ints:

@@ -11,6 +11,7 @@ coefficients in CSD to reduce power and area (Section V/VI, ref. [18]).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -86,8 +87,13 @@ def _binary_to_csd_digits(raw: int) -> List[Tuple[int, int]]:
     return digits
 
 
+@lru_cache(maxsize=65536)
 def to_csd(value: float, fraction_bits: int = 16, max_nonzero: int = None) -> CSDCode:
     """Encode ``value`` in CSD with ``fraction_bits`` of fractional precision.
+
+    The result is memoized (:class:`CSDCode` is frozen, so sharing the
+    instance is safe): the halfband CSD refinement re-quantizes the same
+    coefficient values hundreds of times per design.
 
     Parameters
     ----------

@@ -7,7 +7,8 @@ returns a single :class:`FlowResult` whose report renders the same artefacts
 the paper presents (Table I compliance, Table II power, Figs. 8–13 data).
 """
 
-from repro.flow.pipeline import FlowResult, run_design_flow
+from repro.flow.artifacts import ArtifactStore
+from repro.flow.pipeline import FlowResult, run_design_flow, warm_flow_artifacts
 from repro.flow.reports import (
     flow_report_text,
     power_table_markdown,
@@ -15,8 +16,10 @@ from repro.flow.reports import (
 )
 
 __all__ = [
+    "ArtifactStore",
     "FlowResult",
     "run_design_flow",
+    "warm_flow_artifacts",
     "flow_report_text",
     "power_table_markdown",
     "verification_table_markdown",

@@ -1,0 +1,147 @@
+"""In-run artifact store: shared-stage memoization for the design flow.
+
+One sweep over a design-space grid evaluates many points that share most of
+their inputs — every point with the same modulator spec produces the same
+bit-stream, every point with the same halfband configuration designs the
+same filter, and points that differ only in the output word width share the
+whole verification mask.  The :class:`ArtifactStore` makes that sharing
+explicit: each flow stage derives a content key from its actual inputs and
+asks the store to either return the previously computed artifact or compute
+it exactly once.
+
+The store is purely in-memory and lives for one :func:`repro.explore.run_sweep`
+call (or one :func:`repro.flow.run_design_flow` call when the caller passes
+one in).  It is thread-safe — the sweep runner's thread executor shares one
+store across workers, with per-key locks so a stage shared by N points is
+still computed exactly once — and picklable, so the process executor can
+ship a pre-warmed store to each worker through the pool initializer (once
+per worker instead of once per payload).
+
+Artifacts are returned by reference by default; stages whose artifact is
+later mutated (e.g. a verification report that gains a per-point SNR row)
+request a deep copy with ``copy=True``.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["ArtifactStore"]
+
+
+class ArtifactStore:
+    """Content-keyed, thread-safe, in-memory memoization of flow stages.
+
+    Keys are hashable tuples, conventionally ``(stage_name, content_hash)``
+    with the hash derived from every input that could change the stage's
+    output (see :func:`repro.core.spec.content_hash`).
+
+    Attributes
+    ----------
+    hits, misses:
+        Number of stage computations avoided / performed, for telemetry.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[Tuple, Any] = {}
+        self._lock = threading.Lock()
+        self._key_locks: Dict[Tuple, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple) -> Optional[Any]:
+        """Return the stored artifact for ``key`` or ``None`` (not counted)."""
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: Tuple, value: Any) -> None:
+        """Store (or replace) an artifact."""
+        with self._lock:
+            self._data[key] = value
+
+    def get_or_compute(self, key: Tuple, compute: Callable[[], Any],
+                       copy: bool = False) -> Any:
+        """Return the artifact for ``key``, computing it exactly once.
+
+        Concurrent callers with the same key block on a per-key lock while
+        the first one computes, so a stage shared by N sweep points runs
+        once even under the thread executor.  With ``copy=True`` every
+        caller receives an independent :func:`copy.deepcopy` of the stored
+        artifact (for artifacts the caller mutates afterwards).
+        """
+        with self._lock:
+            if key in self._data:
+                self.hits += 1
+                return self._maybe_copy(self._data[key], copy)
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._data:
+                    self.hits += 1
+                    return self._maybe_copy(self._data[key], copy)
+            value = compute()
+            with self._lock:
+                self._data[key] = value
+                self.misses += 1
+                self._key_locks.pop(key, None)
+            return self._maybe_copy(value, copy)
+
+    def lock_for(self, key: Tuple) -> threading.Lock:
+        """Per-key lock for stages that manage their own store entries
+        (e.g. the prefix-extending modulator bit-stream stage)."""
+        with self._lock:
+            return self._key_locks.setdefault(("user-lock",) + key,
+                                              threading.Lock())
+
+    def count_hit(self) -> None:
+        """Record an artifact reuse performed outside :meth:`get_or_compute`
+        (taken under the store lock so concurrent updates are not lost)."""
+        with self._lock:
+            self.hits += 1
+
+    def count_miss(self) -> None:
+        """Record an artifact computation performed outside
+        :meth:`get_or_compute`."""
+        with self._lock:
+            self.misses += 1
+
+    @staticmethod
+    def _maybe_copy(value: Any, copy: bool) -> Any:
+        return _copy.deepcopy(value) if copy else value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Tuple) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counters (serialized into sweep telemetry)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._data)}
+
+    # ------------------------------------------------------------------
+    # Pickling (locks are not picklable; a shipped store starts quiescent)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"data": dict(self._data), "hits": self.hits,
+                    "misses": self.misses}
+
+    def __setstate__(self, state: dict) -> None:
+        self._data = state["data"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self._lock = threading.Lock()
+        self._key_locks = {}

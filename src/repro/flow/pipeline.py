@@ -5,6 +5,19 @@ bit-true chain engine (``"auto"``/``"reference"``/``"vectorized"``; all
 bit-exact — see :mod:`repro.core.chain`) and expose the block-streaming
 simulator through :meth:`FlowResult.simulate_blocks` so arbitrarily long
 code records can be pushed through a designed chain in bounded memory.
+
+Staged execution
+----------------
+:func:`run_design_flow` is internally a pipeline of keyed stages —
+modulator simulation, chain design (halfband + equalizer sub-stages), mask
+verification, SNR measurement, synthesis.  Passing an
+:class:`~repro.flow.artifacts.ArtifactStore` memoizes every stage on a
+content key derived from its actual inputs, so repeated flows that share
+inputs (the points of a design-space sweep) compute each shared stage once
+while producing records bit-identical to unmemoized runs.
+:func:`warm_flow_artifacts` pre-computes exactly the shareable stages,
+which is how the sweep runner's process executor fills a store in the
+parent before shipping it to the workers.
 """
 
 from __future__ import annotations
@@ -16,7 +29,9 @@ import numpy as np
 
 from repro.core.chain import ChainDesignOptions, DecimationChain
 from repro.core.spec import ChainSpec, paper_chain_spec
-from repro.core.verification import VerificationReport, verify_chain
+from repro.core.verification import (VerificationReport, modulator_tone_codes,
+                                     verify_chain)
+from repro.flow.artifacts import ArtifactStore
 from repro.hardware.stdcell import GENERIC_45NM, StandardCellLibrary
 from repro.hardware.synthesis import SynthesisFlow, SynthesisReport
 
@@ -105,7 +120,8 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
                     include_snr_simulation: bool = False,
                     snr_samples: int = 32768,
                     measure_activity: bool = True,
-                    backend: str = "auto") -> FlowResult:
+                    backend: str = "auto",
+                    artifacts: Optional[ArtifactStore] = None) -> FlowResult:
     """Run the complete rapid design-and-synthesis flow.
 
     Parameters
@@ -131,11 +147,18 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
     backend:
         Bit-true chain engine for the SNR simulation (all engines are
         bit-exact; ``"auto"`` picks the vectorized fast path).
+    artifacts:
+        Optional :class:`~repro.flow.artifacts.ArtifactStore` memoizing the
+        shareable stages (halfband/equalizer design, mask verification,
+        modulator bit-stream) across flow runs.  Results are bit-identical
+        with or without a store; per-run stages (synthesis, the per-chain
+        SNR leg) always execute.
     """
     spec = spec or paper_chain_spec()
-    chain = DecimationChain.design(spec, options)
+    chain = DecimationChain.design(spec, options, artifacts=artifacts)
     verification = verify_chain(chain, include_snr=include_snr_simulation,
-                                snr_samples=snr_samples, backend=backend)
+                                snr_samples=snr_samples, backend=backend,
+                                artifacts=artifacts)
     synthesis = SynthesisFlow(library).run(chain, measure_activity=measure_activity)
     snr = verification.metadata.get("simulated_snr_db")
     return FlowResult(
@@ -146,3 +169,31 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
         simulated_snr_db=snr,
         metadata={"library": library.name},
     )
+
+
+def warm_flow_artifacts(spec: Optional[ChainSpec],
+                        options: Optional[ChainDesignOptions],
+                        artifacts: ArtifactStore,
+                        include_snr_simulation: bool = False,
+                        snr_samples: int = 32768,
+                        modulator_engine: str = "fast") -> None:
+    """Pre-compute the shareable stages of :func:`run_design_flow`.
+
+    Fills ``artifacts`` with the chain-design sub-stages, the mask
+    verification and (with ``include_snr_simulation``) the modulator
+    bit-stream for the given point, without running the per-point stages
+    (synthesis, the chain's SNR leg).  The sweep runner's process executor
+    warms a store with one representative of every stage-sharing group of
+    pending points in the parent and ships it to the workers once, via the
+    pool initializer.
+    """
+    spec = spec or paper_chain_spec()
+    chain = DecimationChain.design(spec, options, artifacts=artifacts)
+    verify_chain(chain, include_snr=False, artifacts=artifacts)
+    if include_snr_simulation:
+        from repro.core.verification import snr_stimulus_parameters
+
+        exact_tone_hz, amplitude, total, _ = snr_stimulus_parameters(
+            chain, snr_samples)
+        modulator_tone_codes(spec.modulator, exact_tone_hz, amplitude, total,
+                             engine=modulator_engine, artifacts=artifacts)

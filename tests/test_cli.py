@@ -33,7 +33,8 @@ class TestHelp:
         assert "design" in proc.stdout
         assert "sweep" in proc.stdout
 
-    @pytest.mark.parametrize("command", ["design", "verify", "sweep", "report"])
+    @pytest.mark.parametrize("command",
+                             ["design", "verify", "sweep", "report", "cache"])
     def test_subcommand_help(self, command):
         proc = run_cli(command, "--help")
         assert command in proc.stdout or "usage" in proc.stdout
@@ -114,3 +115,40 @@ class TestSweepAndReport:
         bad.write_text('{"schema": 999}', encoding="utf-8")
         proc = run_cli("report", str(bad), check=False)
         assert proc.returncode != 0
+
+    def test_jobs_and_executor_flags(self, tmp_path):
+        json_a = tmp_path / "a.json"
+        json_b = tmp_path / "b.json"
+        run_cli("sweep", "--output-bits", "12", "14", "--jobs", "2",
+                "--executor", "thread", "--no-cache", "--quiet",
+                "--json", str(json_a), cwd=tmp_path)
+        run_cli("sweep", "--output-bits", "12", "14", "--jobs", "1",
+                "--executor", "inline", "--no-cache", "--quiet",
+                "--json", str(json_b), cwd=tmp_path)
+        assert json_a.read_bytes() == json_b.read_bytes()
+
+    def test_progress_lines_show_point_counts(self, tmp_path):
+        proc = run_cli("sweep", "--output-bits", "12", "14", "--jobs", "1",
+                       "--no-cache", cwd=tmp_path)
+        assert "[run 1/2]" in proc.stderr
+        assert "[run 2/2]" in proc.stderr
+
+
+class TestCacheCommand:
+    def test_stats_and_prune(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_cli("sweep", "--output-bits", "12", "14", "--jobs", "1",
+                "--cache-dir", str(cache), "--quiet", cwd=tmp_path)
+        stats = run_cli("cache", "stats", "--cache-dir", str(cache))
+        assert "Entries         : 2" in stats.stdout
+        assert "Stale entries   : 0" in stats.stdout
+
+        # A corrupt entry is stale and gets pruned; valid entries survive.
+        (cache / "corrupt.json").write_text("not json", encoding="utf-8")
+        prune = run_cli("cache", "prune", "--cache-dir", str(cache))
+        assert "Removed 1 cache entries" in prune.stdout
+        stats = run_cli("cache", "stats", "--cache-dir", str(cache))
+        assert "Entries         : 2" in stats.stdout
+
+        wipe = run_cli("cache", "prune", "--all", "--cache-dir", str(cache))
+        assert "Removed 2 cache entries" in wipe.stdout

@@ -80,6 +80,52 @@ class TestRunSweep:
                            cache_dir=tmp_path / "ser")
         assert sweep_report_json(parallel) == sweep_report_json(serial)
 
+    @pytest.mark.parametrize("executor", ["inline", "thread", "process"])
+    def test_every_executor_matches_inline(self, two_point_sweep, tmp_path,
+                                           executor, cold_result):
+        result = run_sweep(two_point_sweep, jobs=2, executor=executor,
+                           cache_dir=tmp_path / executor)
+        assert sweep_report_json(result) == sweep_report_json(cold_result)
+
+    def test_jobs_one_never_creates_a_pool(self, two_point_sweep, monkeypatch):
+        import repro.explore.runner as runner_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("jobs=1 must run inline, without a pool")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(runner_module, "ThreadPoolExecutor", boom)
+        result = run_sweep(two_point_sweep, jobs=1, executor="process")
+        assert result.metadata["executor"] == "inline"
+        assert len(result) == 2
+
+    def test_single_miss_runs_inline_even_with_many_jobs(self, monkeypatch):
+        import repro.explore.runner as runner_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("a single pending point must run inline")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(runner_module, "ThreadPoolExecutor", boom)
+        result = run_sweep(SweepSpec(), jobs=8, executor="process")
+        assert result.metadata["executor"] == "inline"
+
+    def test_unknown_executor_rejected(self, two_point_sweep):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_sweep(two_point_sweep, executor="fork-bomb")
+
+    def test_shared_stages_are_reused_across_points(self, two_point_sweep):
+        result = run_sweep(two_point_sweep, workers=1)
+        store = result.metadata["artifact_store"]
+        # The two points differ only in output word width, so the halfband,
+        # equalizer and mask-verification artifacts are all shared.
+        assert store["hits"] >= 3
+
+    def test_run_progress_lines_count_misses(self, two_point_sweep):
+        lines = []
+        run_sweep(two_point_sweep, workers=1, progress=lines.append)
+        assert lines == ["[run 1/2] w12", "[run 2/2] w14"]
+
     def test_unknown_library_rejected_before_running(self, two_point_sweep):
         with pytest.raises(ValueError, match="unknown standard-cell library"):
             run_sweep(two_point_sweep, library="generic-7nm")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Gate CI on the machine-readable benchmark JSON (perf smoke).
+
+Reads the ``BENCH_<name>.json`` files written by ``benchmarks/benchutils
+.emit_json`` and checks each known benchmark against conservative floors —
+loose enough to stay green on loaded CI runners, tight enough to catch a
+regression that loses a fast path entirely.
+
+Usage::
+
+    python tools/check_bench_floors.py [BENCH_DIR]
+
+Exits 1 (listing every violation) if any floor is broken or an expected
+file is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: name -> list of (description, predicate over the "results" payload).
+FLOORS = {
+    "sweep_cache": [
+        ("cold and warm reports are byte-identical",
+         lambda r: r["reports_identical"] is True),
+        ("warm (all-cached) rerun is at least 20x faster than cold",
+         lambda r: r["warm_speedup"] >= 20.0),
+        ("cold 4-point sweep finishes within 30 s",
+         lambda r: r["cold_s"] <= 30.0),
+        ("shared-stage memoization is active (artifact hits > 0)",
+         lambda r: r["artifact_store"].get("hits", 0) > 0),
+    ],
+    "end_to_end_snr": [
+        ("measured SNR stays above 80 dB", lambda r: r["snr_db"] > 80.0),
+        ("65536-sample SNR simulation finishes within 60 s",
+         lambda r: r["elapsed_s"] <= 60.0),
+    ],
+}
+
+
+def main(argv):
+    bench_dir = argv[1] if len(argv) > 1 else "."
+    failures = []
+    for name, checks in FLOORS.items():
+        path = os.path.join(bench_dir, f"BENCH_{name}.json")
+        if not os.path.exists(path):
+            failures.append(f"{name}: missing {path}")
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            results = json.load(fh)["results"]
+        for description, predicate in checks:
+            try:
+                ok = predicate(results)
+            except (KeyError, TypeError) as exc:
+                ok = False
+                description += f" (malformed payload: {exc!r})"
+            status = "ok" if ok else "FAIL"
+            print(f"[{status}] {name}: {description}")
+            if not ok:
+                failures.append(f"{name}: {description}")
+    if failures:
+        print(f"\n{len(failures)} benchmark floor(s) broken:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nAll benchmark floors hold ({bench_dir}).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
