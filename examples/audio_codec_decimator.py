@@ -2,32 +2,32 @@
 
 The paper motivates its flow with reconfigurability: the same methodology
 that produces the 20 MHz wideband chain should produce a filter for a
-completely different standard.  This example retargets the designer at an
-audio-band spec (24 kHz bandwidth, OSR 64, 48 kS/s output, 16-bit) — the
-kind of decimator the paper cites from the audio-codec literature — and
-shows that the architecture adapts automatically: more decimate-by-2
-stages, lower Sinc orders, a longer halfband for the narrower transition
-band.
+completely different standard.  This example is a thin wrapper over the
+registered ``audio-48k`` scenario (see ``repro.scenarios`` and
+``docs/SCENARIOS.md``): the standard profile, design options, stimulus and
+verification mask all come from the registry — the same definition the
+test suite, the CLI and the golden-record checker use.
 
 Run with::
 
     python examples/audio_codec_decimator.py
+
+The same workload from the shell::
+
+    python -m repro scenario run audio-48k
 """
 
-import numpy as np
-
-from repro.core import ChainDesignOptions, DecimationChain, audio_chain_spec, verify_chain
-from repro.core.verification import simulated_output_snr
-from repro.hardware import SynthesisFlow
+from repro.core import DecimationChain, verify_chain
+from repro.scenarios import get_scenario, run_scenario
 
 
 def main() -> None:
-    spec = audio_chain_spec()
-    options = ChainDesignOptions(sinc_orders=None, equalizer_order=48)
-    chain = DecimationChain.design(spec, options)
+    scenario = get_scenario("audio-48k")
+    spec = scenario.spec
 
-    print("Audio-codec decimation chain (24 kHz bandwidth, OSR 64)")
+    print(f"{scenario.title} — scenario '{scenario.name}'")
     print("-" * 64)
+    chain = DecimationChain.design(spec, scenario.options)
     for key, value in chain.summary().items():
         print(f"  {key:<28} {value}")
 
@@ -37,20 +37,16 @@ def main() -> None:
     print(verify_chain(chain))
 
     print()
-    print("Bit-true SNR with a 3 kHz tone")
+    print("Full scenario run (design + verify + SNR + synthesis estimate)")
     print("-" * 64)
-    # simulated_output_snr defaults to the fast engines (vectorized chain
-    # backend + recursive modulator loop); pass backend="reference" /
-    # modulator_engine="error-feedback" for the original bit-stream.
-    snr = simulated_output_snr(chain, n_samples=65536, tone_hz=3e3, amplitude=0.6)
-    print(f"  measured SNR: {snr:.1f} dB")
-
-    print()
-    print("Power/area in the same 45 nm technology")
-    print("-" * 64)
-    report = SynthesisFlow().run(chain, measure_activity=False)
-    print(report.power)
-    print(f"  Total layout area: {report.total_area_mm2:.3f} mm2")
+    result = run_scenario(scenario)
+    stimulus = result.record["stimulus"]
+    print(f"  measured SNR: {result.snr_db:.1f} dB "
+          f"({stimulus['tone_hz'] / 1e3:.0f} kHz tone, "
+          f"amplitude {stimulus['amplitude']:g})")
+    print(f"  power:        {result.power_mw:.3f} mW")
+    print(f"  area:         {result.area_mm2:.3f} mm2")
+    print(f"  meets spec:   {'yes' if result.meets_spec else 'NO'}")
     print()
     print("Note how the power collapses relative to the wideband design: the "
           "whole chain runs at kHz–MHz clocks instead of 640 MHz.")

@@ -1,11 +1,13 @@
 """Quickstart: design the paper's decimation filter in a few lines.
 
 Designs the Table I chain (Sinc4 → Sinc4 → Sinc6 → Saramäki halfband →
-scaler → 64th-order equalizer), verifies it against the specification,
-prints the design summary and verification report, and runs a short
-bit-true simulation on the vectorized fast path (``backend="auto"`` — the
-sample-by-sample reference engine produces bit-identical words, 10–100×
-slower; see docs/ARCHITECTURE.md).
+scaler → 64th-order equalizer) from the registered ``lte-20`` scenario —
+the paper's own profile, shared with the tests, the CLI and the golden
+records — verifies it against the specification, prints the design summary
+and verification report, and runs a short bit-true simulation on the
+vectorized fast path (``backend="auto"`` — the sample-by-sample reference
+engine produces bit-identical words, 10–100× slower; see
+docs/ARCHITECTURE.md).
 
 Run with::
 
@@ -14,12 +16,14 @@ Run with::
 
 import numpy as np
 
-from repro.core import design_paper_chain, verify_chain
+from repro.core import DecimationChain, verify_chain
 from repro.dsm import DeltaSigmaModulator, coherent_tone
+from repro.scenarios import get_scenario
 
 
 def main() -> None:
-    chain = design_paper_chain()
+    scenario = get_scenario("lte-20")
+    chain = DecimationChain.design(scenario.spec, scenario.options)
 
     print("Designed decimation filter chain (paper Table I specification)")
     print("-" * 64)

@@ -1,6 +1,8 @@
 """The full paper flow on the wideband (LTE-class, 20 MHz) delta-sigma ADC.
 
-Reproduces the complete Section II–VIII story in one script:
+Reproduces the complete Section II–VIII story in one script, driven by the
+registered ``lte-20`` scenario (the paper's own Table I profile — see
+``docs/SCENARIOS.md``):
 
 1. synthesize the 5th-order NTF and simulate the continuous-time-equivalent
    modulator (Fig. 4's spectrum and SQNR),
@@ -12,25 +14,34 @@ Reproduces the complete Section II–VIII story in one script:
 Run with::
 
     python examples/wideband_lte_adc.py
+
+The same workload from the shell::
+
+    python -m repro scenario run lte-20
 """
 
-import numpy as np
-
-from repro.core.verification import simulated_output_snr
 from repro.dsm import DeltaSigmaModulator, analyze_tone, coherent_tone
 from repro.flow import flow_report_text, run_design_flow
+from repro.scenarios import get_scenario
 
 
 def main() -> None:
+    scenario = get_scenario("lte-20")
+    mod_spec = scenario.spec.modulator
+    stimulus = scenario.stimulus
+
     # ------------------------------------------------------------------
     # 1. Modulator: 5th order, OSR 16, 4-bit, 640 MHz (Fig. 4)
     # ------------------------------------------------------------------
-    modulator = DeltaSigmaModulator()
-    n_samples = 65536
-    tone_hz = 5e6
-    stimulus = coherent_tone(tone_hz, 0.81 * 0.9, modulator.sample_rate_hz, n_samples)
-    result = modulator.simulate(stimulus)
-    spectrum = analyze_tone(result.output, modulator.sample_rate_hz, tone_hz,
+    modulator = DeltaSigmaModulator(order=mod_spec.order, osr=mod_spec.osr,
+                                    quantizer_bits=mod_spec.quantizer_bits,
+                                    sample_rate_hz=mod_spec.sample_rate_hz,
+                                    h_inf=mod_spec.out_of_band_gain)
+    tone = coherent_tone(stimulus.tone_hz, 0.81 * 0.9,
+                         modulator.sample_rate_hz, 65536)
+    result = modulator.simulate(tone)
+    spectrum = analyze_tone(result.output, modulator.sample_rate_hz,
+                            stimulus.tone_hz,
                             bandwidth_hz=modulator.signal_bandwidth_hz)
     print("Modulator (Fig. 4 reproduction)")
     print(f"  stable:            {result.stable}")
@@ -38,20 +49,24 @@ def main() -> None:
           f"({spectrum.enob:.1f} bits)   [paper: 102 dB / 16.7 bits]")
 
     # ------------------------------------------------------------------
-    # 2–4. Chain design, verification, RTL + power/area (Tables I, II)
+    # 2–4. Chain design, verification, RTL + power/area (Tables I, II),
+    # then the end-to-end bit-true SNR with the scenario's stimulus.
+    # The SNR leg runs on the vectorized chain backend and the fast
+    # modulator engine — bit-exact words, ~30x faster than the reference.
     # ------------------------------------------------------------------
-    flow = run_design_flow(include_snr_simulation=False, measure_activity=True)
+    flow = run_design_flow(
+        spec=scenario.spec,
+        options=scenario.options,
+        include_snr_simulation=True,
+        snr_samples=stimulus.n_samples,
+        snr_tone_hz=stimulus.tone_hz,
+        snr_amplitude=stimulus.amplitude,
+        measure_activity=True,
+    )
     print()
     print(flow_report_text(flow))
-
-    # ------------------------------------------------------------------
-    # End-to-end bit-true SNR with a longer record (Table I bottom row).
-    # This runs on the vectorized chain backend and the fast modulator
-    # engine by default — bit-exact words, ~30x faster than the reference.
-    # ------------------------------------------------------------------
-    snr = simulated_output_snr(flow.chain, n_samples=65536)
-    print(f"End-to-end bit-true SNR (0.95·MSA tone): {snr:.1f} dB  "
-          f"[paper: 86 dB / 14 bits]")
+    print(f"End-to-end bit-true SNR (0.95·MSA tone): "
+          f"{flow.simulated_snr_db:.1f} dB  [paper: 86 dB / 14 bits]")
 
 
 if __name__ == "__main__":

@@ -1,16 +1,21 @@
-"""Command-line interface: ``python -m repro <design|verify|sweep|report|cache>``.
+"""Command-line interface: ``python -m repro <design|verify|sweep|scenario|...>``.
 
-Every scenario in ``examples/`` is reproducible from the shell:
+Every workload in ``examples/`` is reproducible from the shell:
 
 * ``design`` — run the one-shot rapid design flow and print the full report.
 * ``verify`` — design + print the Table I compliance table; exit 1 on FAIL.
 * ``sweep``  — expand a design-space grid, run it on the staged, memoized
   sweep engine (``--jobs``/``--executor`` select the concurrency backend)
   with the on-disk cache, and print/write the Pareto-ranked report.
+* ``scenario`` — the multi-standard scenario suite: ``list`` the registry,
+  ``run`` named scenarios (or ``--all``) on the same memoized engine,
+  ``report`` a saved run, and ``check`` fresh runs against the committed
+  golden records (exit 1 on any regression).
 * ``report`` — re-render a saved sweep JSON report without re-running.
 * ``cache``  — ``stats`` / ``prune`` for the on-disk sweep result cache.
 
-See ``docs/GUIDE.md`` for a task-oriented walkthrough and
+See ``docs/GUIDE.md`` for a task-oriented walkthrough,
+``docs/SCENARIOS.md`` for the scenario catalog and
 ``docs/PERFORMANCE.md`` for the engine/executor guide.
 """
 
@@ -100,6 +105,50 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the markdown report to FILE")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
+
+    scenario = sub.add_parser(
+        "scenario", help="run or check the multi-standard scenario suite")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+    scenario_sub.add_parser(
+        "list", help="list every registered scenario")
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run scenarios through the design flow")
+    scenario_check = scenario_sub.add_parser(
+        "check", help="diff fresh scenario runs against the golden records "
+                      "(exit 1 on any mismatch)")
+    for sub_parser in (scenario_run, scenario_check):
+        sub_parser.add_argument("names", nargs="*", metavar="NAME",
+                                help="scenario names (see 'scenario list')")
+        sub_parser.add_argument("--all", action="store_true", dest="run_all",
+                                help="select every registered scenario")
+        sub_parser.add_argument("--jobs", type=int, default=1,
+                                help="maximum concurrent scenario executions")
+        sub_parser.add_argument("--executor", default="auto",
+                                choices=["auto", "inline", "thread", "process"],
+                                help="executor for the suite run (default: auto)")
+        sub_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                                help="on-disk result cache directory "
+                                     "(default: no cache)")
+        sub_parser.add_argument("--quiet", action="store_true",
+                                help="suppress per-scenario progress lines")
+    scenario_run.add_argument("--json", metavar="FILE",
+                              help="write the canonical JSON report to FILE")
+    scenario_run.add_argument("--markdown", metavar="FILE",
+                              help="write the markdown report to FILE")
+    scenario_run.add_argument("--write-goldens", action="store_true",
+                              help="(re)write the committed golden records "
+                                   "from this run")
+    scenario_report = scenario_sub.add_parser(
+        "report", help="re-render a saved scenario suite JSON report")
+    scenario_report.add_argument("results", metavar="RESULTS.json",
+                                 help="JSON report written by "
+                                      "'scenario run --json'")
+    scenario_report.add_argument("--format", default="markdown",
+                                 choices=["markdown", "json"],
+                                 help="output format (default: markdown)")
+    scenario_report.add_argument("--out", metavar="FILE",
+                                 help="write to FILE instead of stdout")
 
     report = sub.add_parser(
         "report", help="re-render a saved sweep JSON report")
@@ -289,6 +338,119 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _selected_scenarios(args: argparse.Namespace):
+    from repro.scenarios import get_scenario, scenario_names
+
+    if args.run_all or not args.names:
+        return [get_scenario(name) for name in scenario_names()]
+    unknown = [name for name in args.names if name not in scenario_names()]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s): {', '.join(unknown)}; registered: "
+            f"{', '.join(scenario_names())}")
+    return [get_scenario(name) for name in args.names]
+
+
+def _run_scenario_selection(args: argparse.Namespace):
+    from repro.scenarios import run_scenario_suite
+
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr))
+    return run_scenario_suite(
+        _selected_scenarios(args),
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+        progress=progress,
+    )
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_scenario_list,
+        "run": _cmd_scenario_run,
+        "check": _cmd_scenario_check,
+        "report": _cmd_scenario_report,
+    }
+    return handlers[args.scenario_command](args)
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import scenario_list_markdown
+
+    print(scenario_list_markdown())
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import write_golden
+    from repro.scenarios.report import (scenario_report_json,
+                                        scenario_report_markdown)
+
+    suite = _run_scenario_selection(args)
+    markdown = scenario_report_markdown(suite)
+    _write_or_print(markdown, args.markdown)
+    if args.markdown:
+        print(f"Markdown report written to {args.markdown}")
+    if args.json:
+        _write_or_print(scenario_report_json(suite), args.json)
+        print(f"JSON report written to {args.json}")
+    if args.write_goldens:
+        for result in suite:
+            path = write_golden(result.name, result.record)
+            print(f"Golden record written to {path}", file=sys.stderr)
+    store = suite.metadata.get("artifact_store", {})
+    print(f"\n{len(suite)} scenarios in {suite.elapsed_s:.2f}s "
+          f"({suite.metadata.get('executor', 'inline')} executor, "
+          f"{suite.jobs} jobs, {suite.cache_hits} cached, "
+          f"{suite.cache_misses} executed, "
+          f"{store.get('hits', 0)} shared-stage reuses)", file=sys.stderr)
+    return 0
+
+
+def _cmd_scenario_check(args: argparse.Namespace) -> int:
+    from repro.scenarios import check_record
+
+    suite = _run_scenario_selection(args)
+    if suite.cache_hits:
+        # A check over cached records validates what was in the cache, not
+        # what the current code computes — fine within one CI run, a
+        # footgun with a stale local cache.
+        print(f"note: {suite.cache_hits} record(s) served from the result "
+              f"cache; omit --cache-dir for a fully fresh check",
+              file=sys.stderr)
+    failures = 0
+    for result in suite:
+        diffs = check_record(result.name, result.record)
+        if not diffs:
+            print(f"[ok]   {result.name}")
+            continue
+        failures += 1
+        print(f"[DIFF] {result.name}: {len(diffs)} mismatched field(s)")
+        for diff in diffs[:20]:
+            print(f"       {diff}")
+        if len(diffs) > 20:
+            print(f"       ... and {len(diffs) - 20} more")
+    total = len(suite)
+    if failures:
+        print(f"\n{failures}/{total} scenario(s) diverge from their golden "
+              f"records (rerun with 'scenario run --write-goldens' only if "
+              f"the change is intended)")
+        return 1
+    print(f"\nOK: {total} scenario(s) match their golden records")
+    return 0
+
+
+def _cmd_scenario_report(args: argparse.Namespace) -> int:
+    from repro.scenarios import render_scenario_report_from_json
+
+    with open(args.results, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    _write_or_print(render_scenario_report_from_json(text, args.format),
+                    args.out)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.explore import render_report_from_json
 
@@ -337,6 +499,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "design": _cmd_design,
         "verify": _cmd_verify,
         "sweep": _cmd_sweep,
+        "scenario": _cmd_scenario,
         "report": _cmd_report,
         "cache": _cmd_cache,
     }

@@ -299,6 +299,7 @@ class DecimationChain:
     # ------------------------------------------------------------------
     @property
     def total_decimation(self) -> int:
+        """Overall decimation factor of the chain (the spec's OSR)."""
         return self.spec.total_decimation
 
     def stage_infos(self) -> List[StageInfo]:

@@ -134,6 +134,7 @@ class ChainSpec:
 
     @property
     def total_decimation(self) -> int:
+        """Overall decimation factor (input rate over output rate)."""
         ratio = self.modulator.sample_rate_hz / self.decimator.output_rate_hz
         rounded = int(round(ratio))
         if abs(ratio - rounded) > 1e-6:
@@ -246,6 +247,85 @@ def content_hash(data: object) -> str:
 def paper_chain_spec() -> ChainSpec:
     """The exact Table I specification of the paper."""
     return ChainSpec(modulator=ModulatorSpec(), decimator=DecimationFilterSpec())
+
+
+def standard_chain_spec(bandwidth_hz: float,
+                        osr: int,
+                        order: int = 5,
+                        out_of_band_gain: Optional[float] = None,
+                        quantizer_bits: int = 4,
+                        msa: float = 0.81,
+                        target_snr_db: float = 86.0,
+                        output_bits: int = 14,
+                        passband_ripple_db: float = 1.0,
+                        passband_edge_hz: Optional[float] = None,
+                        stopband_edge_hz: Optional[float] = None,
+                        stopband_attenuation_db: float = 85.0) -> ChainSpec:
+    """Build a self-consistent :class:`ChainSpec` for a named standard.
+
+    This is the profile constructor behind :mod:`repro.scenarios`: every
+    derived quantity follows the paper's conventions, so a profile is fully
+    determined by its bandwidth, OSR and modulator order.  The sample rate
+    is ``2 * bandwidth * OSR``, the output (Nyquist) rate is ``2 *
+    bandwidth``, the passband edge defaults to the signal bandwidth and the
+    stopband edge to the paper's 1.15x relative offset (23 MHz for the
+    20 MHz Table I chain).
+
+    Parameters
+    ----------
+    bandwidth_hz:
+        Signal bandwidth of the standard (e.g. 20 MHz for LTE-20).
+    osr:
+        Oversampling ratio; must be a power of two for the halving-stage
+        architecture (enforced lazily by :attr:`ChainSpec.num_halving_stages`).
+    order:
+        Modulator order; the designer sizes the last Sinc stage from it.
+    out_of_band_gain:
+        NTF out-of-band gain; defaults to the paper's 3.0 for orders >= 5
+        and a conservative 1.7 for lower-order loops.
+    quantizer_bits:
+        Modulator quantizer width (equals the decimator input width).
+    msa:
+        Maximum stable amplitude of the modulator, in (0, 1].
+    target_snr_db:
+        End-to-end SNR target for both the modulator and the decimator.
+    output_bits:
+        Output word width of the decimation chain.
+    passband_ripple_db:
+        Passband ripple budget of the verification mask.
+    passband_edge_hz:
+        Mask passband edge; defaults to ``bandwidth_hz``.
+    stopband_edge_hz:
+        Mask stopband edge; defaults to ``1.15 * bandwidth_hz``.
+    stopband_attenuation_db:
+        Stopband/alias attenuation requirement of the mask.
+    """
+    sample_rate_hz = 2.0 * bandwidth_hz * osr
+    if out_of_band_gain is None:
+        out_of_band_gain = 3.0 if order >= 5 else 1.7
+    modulator = ModulatorSpec(
+        order=order,
+        out_of_band_gain=out_of_band_gain,
+        bandwidth_hz=bandwidth_hz,
+        sample_rate_hz=sample_rate_hz,
+        osr=osr,
+        quantizer_bits=quantizer_bits,
+        msa=msa,
+        target_snr_db=target_snr_db,
+    )
+    decimator = DecimationFilterSpec(
+        input_bits=quantizer_bits,
+        passband_ripple_db=passband_ripple_db,
+        passband_edge_hz=(passband_edge_hz if passband_edge_hz is not None
+                          else bandwidth_hz),
+        stopband_edge_hz=(stopband_edge_hz if stopband_edge_hz is not None
+                          else 1.15 * bandwidth_hz),
+        stopband_attenuation_db=stopband_attenuation_db,
+        output_rate_hz=2.0 * bandwidth_hz,
+        target_snr_db=target_snr_db,
+        output_bits=output_bits,
+    )
+    return ChainSpec(modulator=modulator, decimator=decimator)
 
 
 def audio_chain_spec() -> ChainSpec:

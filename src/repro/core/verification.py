@@ -42,6 +42,7 @@ class VerificationReport:
 
     @property
     def passed(self) -> bool:
+        """Whether every check in the report passed."""
         return all(check.passed for check in self.checks)
 
     def add(self, name: str, measured: float, limit: float, comparison: str,
@@ -80,7 +81,9 @@ def verify_chain(chain, include_snr: bool = False,
                  snr_samples: int = 65536,
                  passband_fraction: float = 0.95,
                  backend: str = "auto",
-                 artifacts=None) -> VerificationReport:
+                 artifacts=None,
+                 snr_tone_hz: Optional[float] = None,
+                 snr_amplitude: Optional[float] = None) -> VerificationReport:
     """Verify a designed chain against its specification.
 
     Parameters
@@ -107,6 +110,11 @@ def verify_chain(chain, include_snr: bool = False,
         inputs reuse one memoized mask evaluation (each caller gets an
         independent copy); the SNR check's modulator bit-stream is likewise
         shared through the store.
+    snr_tone_hz, snr_amplitude:
+        Optional explicit SNR stimulus (tone frequency / amplitude); the
+        defaults are the paper's bandwidth/4 tone at 0.95 x MSA.  Scenario
+        definitions (:mod:`repro.scenarios`) pin these explicitly so their
+        golden records are self-describing.
     """
     if artifacts is not None:
         key = ("verify-mask", _mask_fingerprint(chain, passband_fraction))
@@ -118,6 +126,8 @@ def verify_chain(chain, include_snr: bool = False,
     if include_snr:
         dec = chain.spec.decimator
         snr = simulated_output_snr(chain, n_samples=snr_samples,
+                                   tone_hz=snr_tone_hz,
+                                   amplitude=snr_amplitude,
                                    backend=backend, artifacts=artifacts)
         report.add("end-to-end SNR (bit-true chain)", snr, dec.target_snr_db - 3.0, ">=")
         report.metadata["simulated_snr_db"] = snr

@@ -50,6 +50,7 @@ class ContinuousTimeLoopFilter:
 
     @property
     def order(self) -> int:
+        """Loop-filter order (number of feedforward coefficients)."""
         return len(self.feedforward)
 
 

@@ -69,6 +69,7 @@ class SimulationResult:
 
     @property
     def n_samples(self) -> int:
+        """Number of simulated samples."""
         return len(self.output)
 
 
@@ -96,10 +97,12 @@ class BatchSimulationResult:
 
     @property
     def batch_size(self) -> int:
+        """Number of independent records in the batch."""
         return self.output.shape[0]
 
     @property
     def n_samples(self) -> int:
+        """Number of simulated samples per record."""
         return self.output.shape[1]
 
     def record(self, index: int) -> SimulationResult:
@@ -322,6 +325,7 @@ class StateSpaceSimulator:
         self._A, self._B, self._C, self._D = signal.tf2ss(num, den)
 
     def simulate(self, u: np.ndarray) -> SimulationResult:
+        """Run the state-space loop on the input sequence ``u`` (values within ±1)."""
         u = np.asarray(u, dtype=float)
         n = len(u)
         A, B, C = self._A, self._B, self._C

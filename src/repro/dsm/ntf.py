@@ -101,6 +101,7 @@ class NoiseTransferFunction:
     # Conversions
     # ------------------------------------------------------------------
     def as_zpk(self) -> Tuple[np.ndarray, np.ndarray, float]:
+        """The NTF as a ``(zeros, poles, gain)`` tuple (copies, scipy layout)."""
         return self.zeros.copy(), self.poles.copy(), self.gain
 
     def as_tf(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -109,6 +109,7 @@ class BinaryQuantizer:
     full_scale: float = 1.0
 
     def quantize(self, x: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Quantize ``x`` to ±full-scale (the 1-bit decision)."""
         scalar = np.isscalar(x)
         out = np.where(np.asarray(x, dtype=float) >= 0.0, self.full_scale, -self.full_scale)
         if scalar:
@@ -116,6 +117,7 @@ class BinaryQuantizer:
         return out
 
     def quantize_to_code(self, x: Union[float, np.ndarray]) -> Union[int, np.ndarray]:
+        """Quantize and return the binary output code (0 or 1)."""
         scalar = np.isscalar(x)
         out = (np.asarray(x, dtype=float) >= 0.0).astype(int)
         if scalar:
@@ -124,10 +126,12 @@ class BinaryQuantizer:
 
     @property
     def levels(self) -> int:
+        """Number of quantizer output levels (always 2)."""
         return 2
 
     @property
     def step(self) -> float:
+        """Quantizer step size (the full peak-to-peak range)."""
         return 2.0 * self.full_scale
 
 

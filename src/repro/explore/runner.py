@@ -38,18 +38,70 @@ from repro.explore.pareto import DEFAULT_OBJECTIVES, Objective, pareto_rank
 from repro.explore.sweep import SweepPoint, SweepSpec
 from repro.flow.artifacts import ArtifactStore
 
-#: Executor names accepted by :func:`run_sweep`.
+#: Executor names accepted by :func:`run_sweep` / :func:`execute_payloads`.
 EXECUTORS = ("auto", "inline", "thread", "process")
 
 #: Artifact store installed in each process-pool worker by the pool
 #: initializer (shipped once per worker instead of once per payload).
 _WORKER_STORE: Optional[ArtifactStore] = None
 
+#: Task callable installed in each process-pool worker by the pool
+#: initializer (pickled by reference; must be a module-level function).
+_WORKER_TASK: Optional[Callable[[dict, Optional[ArtifactStore]], dict]] = None
 
-def _init_worker(store: ArtifactStore) -> None:
-    """Process-pool initializer: install the pre-warmed artifact store."""
-    global _WORKER_STORE
+
+def _init_worker(store: ArtifactStore, task: Optional[Callable] = None) -> None:
+    """Process-pool initializer: install the pre-warmed artifact store
+    and the payload task for this worker."""
+    global _WORKER_STORE, _WORKER_TASK
     _WORKER_STORE = store
+    _WORKER_TASK = task
+
+
+def run_flow_payload(payload: dict,
+                     artifacts: Optional[ArtifactStore] = None):
+    """Run one payload's design flow and return the live ``FlowResult``.
+
+    The payload layout is ``{"spec": ChainSpec.to_dict(), "options":
+    ChainDesignOptions.to_dict(), "flow": flow-settings dict}``; the flow
+    settings carry the library name, the SNR-leg configuration (including
+    the optional explicit ``snr_tone_hz``/``snr_amplitude`` stimulus) and
+    the simulation backend.  Callers that only need the JSON record use
+    :func:`_execute_point`; the scenario runner builds on this function to
+    post-process the designed chain (e.g. the Farrow rate-converter leg).
+    """
+    from repro.core.chain import ChainDesignOptions
+    from repro.core.spec import ChainSpec
+    from repro.flow.pipeline import run_design_flow
+    from repro.hardware.stdcell import library_by_name
+
+    spec = ChainSpec.from_dict(payload["spec"])
+    options = ChainDesignOptions.from_dict(payload["options"])
+    flow = payload["flow"]
+    return run_design_flow(
+        spec=spec,
+        options=options,
+        library=library_by_name(flow["library"]),
+        include_snr_simulation=flow["include_snr"],
+        snr_samples=flow["snr_samples"],
+        measure_activity=flow["measure_activity"],
+        backend=flow["backend"],
+        artifacts=artifacts,
+        snr_tone_hz=flow.get("snr_tone_hz"),
+        snr_amplitude=flow.get("snr_amplitude"),
+    )
+
+
+def flow_record(result) -> dict:
+    """JSON-safe record of a flow result, with the SNR columns the
+    sweep/scenario reports consume (linear-model prediction + simulated)."""
+    from repro.core.designer import predicted_snr_after_decimation
+
+    record = result.record()
+    record["predicted_snr_db"] = float(predicted_snr_after_decimation(
+        result.spec, result.chain.summary()["sinc_orders"]))
+    record["simulated_snr_db"] = result.simulated_snr_db
+    return record
 
 
 def _execute_point(payload: dict, artifacts: Optional[ArtifactStore] = None) -> dict:
@@ -60,46 +112,110 @@ def _execute_point(payload: dict, artifacts: Optional[ArtifactStore] = None) -> 
     run's shared store (inline/thread executors pass it directly; process
     workers fall back to the store installed by :func:`_init_worker`).
     """
-    from repro.core.chain import ChainDesignOptions
-    from repro.core.designer import predicted_snr_after_decimation
-    from repro.core.spec import ChainSpec
-    from repro.flow.pipeline import run_design_flow
-    from repro.hardware.stdcell import library_by_name
-
     if artifacts is None:
         artifacts = _WORKER_STORE
-    spec = ChainSpec.from_dict(payload["spec"])
-    options = ChainDesignOptions.from_dict(payload["options"])
-    flow = payload["flow"]
-    result = run_design_flow(
-        spec=spec,
-        options=options,
-        library=library_by_name(flow["library"]),
-        include_snr_simulation=flow["include_snr"],
-        snr_samples=flow["snr_samples"],
-        measure_activity=flow["measure_activity"],
-        backend=flow["backend"],
-        artifacts=artifacts,
-    )
-    record = result.record()
-    record["predicted_snr_db"] = float(predicted_snr_after_decimation(
-        spec, result.chain.summary()["sinc_orders"]))
-    record["simulated_snr_db"] = result.simulated_snr_db
-    return record
+    return flow_record(run_flow_payload(payload, artifacts))
 
 
-def _execute_point_in_worker(payload: dict) -> tuple:
-    """Process-pool task: the point record plus this task's artifact
+def _execute_payload_in_worker(payload: dict) -> tuple:
+    """Process-pool task: the payload record plus this task's artifact
     hit/miss deltas, so the parent can fold worker-side stage reuse into
     the run telemetry (each worker's store counters are cumulative across
     its chunk, hence the before/after delta)."""
+    task = _WORKER_TASK if _WORKER_TASK is not None else _execute_point
     before = _WORKER_STORE.stats() if _WORKER_STORE is not None else None
-    record = _execute_point(payload)
+    record = task(payload, _WORKER_STORE)
     if before is None:
         return record, 0, 0
     after = _WORKER_STORE.stats()
     return (record, after["hits"] - before["hits"],
             after["misses"] - before["misses"])
+
+
+def execute_payloads(payloads: Sequence[dict],
+                     task: Optional[Callable] = None,
+                     jobs: int = 1,
+                     executor: str = "auto",
+                     store: Optional[ArtifactStore] = None,
+                     warm: Optional[Callable[[ArtifactStore], None]] = None,
+                     on_result: Optional[Callable[[int, dict], None]] = None,
+                     chunk_size: Optional[int] = None) -> tuple:
+    """Execute flow payloads on the selected executor with a shared store.
+
+    This is the concurrency harness shared by :func:`run_sweep` and
+    :func:`repro.scenarios.run_scenario_suite`: it resolves the executor
+    (see :func:`_resolve_executor`), runs every payload through ``task``
+    with one shared :class:`~repro.flow.artifacts.ArtifactStore`, and
+    returns ``(records, mode, store)`` with the records in payload order.
+    All executors produce identical records — memoized stage results are
+    bit-identical to cold computation.
+
+    Parameters
+    ----------
+    payloads:
+        JSON-safe payload dictionaries accepted by ``task``.
+    task:
+        Module-level callable ``task(payload, artifacts) -> record``
+        (picklable by reference for the process executor); defaults to the
+        sweep point task :func:`_execute_point`.
+    jobs:
+        Maximum concurrent payload executions.
+    executor:
+        ``"inline"``, ``"thread"``, ``"process"`` or ``"auto"``.
+    store:
+        Shared artifact store; a fresh one is created when ``None``.
+    warm:
+        Optional callback invoked with the store *before* a process pool
+        is created, to pre-compute shareable stages in the parent (the
+        store is shipped to each worker through the pool initializer).
+        Ignored by the other executors, which share the store directly.
+    on_result:
+        Optional callback invoked with ``(payload_index, record)`` as
+        results arrive, in payload order.
+    chunk_size:
+        Points per process-pool task (default: ~4 chunks per worker).
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of "
+                         f"{', '.join(EXECUTORS)}")
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if store is None:
+        store = ArtifactStore()
+    if task is None:
+        task = _execute_point
+    mode = _resolve_executor(executor, jobs, len(payloads))
+    records: List[dict] = []
+
+    def finish(index: int, record: dict) -> None:
+        records.append(record)
+        if on_result is not None:
+            on_result(index, record)
+
+    if mode == "inline":
+        for index, payload in enumerate(payloads):
+            finish(index, task(payload, store))
+    elif mode == "thread":
+        with ThreadPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+            results = pool.map(lambda p: task(p, store), payloads)
+            for index, record in enumerate(results):
+                finish(index, record)
+    elif mode == "process":
+        if warm is not None:
+            warm(store)
+        n_workers = min(jobs, len(payloads))
+        chunk = chunk_size or max(1, -(-len(payloads) // (n_workers * 4)))
+        with ProcessPoolExecutor(max_workers=n_workers,
+                                 initializer=_init_worker,
+                                 initargs=(store, task)) as pool:
+            results = pool.map(_execute_payload_in_worker, payloads,
+                               chunksize=chunk)
+            for index, (record, d_hits, d_misses) in enumerate(results):
+                # Fold worker-side stage reuse into the parent's telemetry.
+                store.hits += d_hits
+                store.misses += d_misses
+                finish(index, record)
+    return records, mode, store
 
 
 @dataclass
@@ -292,9 +408,10 @@ def run_sweep(sweep: SweepSpec,
 
     completed = 0
 
-    def finish(point: SweepPoint, record: dict) -> None:
+    def finish(index: int, record: dict) -> None:
         nonlocal completed
         completed += 1
+        point = pending[index]
         records[point.index] = record
         from_cache[point.index] = False
         if cache is not None:
@@ -302,43 +419,23 @@ def run_sweep(sweep: SweepSpec,
         if progress is not None:
             progress(f"[run {completed}/{len(pending)}] {point.label}")
 
-    store = ArtifactStore()
-    mode = _resolve_executor(executor, n_jobs, len(pending))
-    payloads = [{**p.payload(), "flow": flow_settings} for p in pending]
-    if mode == "inline":
-        for point, payload in zip(pending, payloads):
-            finish(point, _execute_point(payload, store))
-    elif mode == "thread":
-        with ThreadPoolExecutor(max_workers=min(n_jobs, len(pending))) as pool:
-            results = pool.map(lambda p: _execute_point(p, store), payloads)
-            for point, record in zip(pending, results):
-                finish(point, record)
-    elif mode == "process":
+    def warm(store: ArtifactStore) -> None:
         # Warm the stages genuinely shared by >= 2 points once in the
-        # parent, then ship the store to each worker through the
-        # initializer (once per worker, not once per payload) and submit
-        # the points in chunks.  Points with unique designs are *not*
-        # warmed — their full flow runs in the pool, keeping distinct-
-        # design grids parallel (each worker still dedups across its own
-        # chunk through its copy of the store).
+        # parent before the pool ships the store to the workers.  Points
+        # with unique designs are *not* warmed — their full flow runs in
+        # the pool, keeping distinct-design grids parallel (each worker
+        # still dedups across its own chunk through its copy of the store).
         from repro.flow.pipeline import warm_flow_artifacts
 
         for point in _points_worth_warming(pending, include_snr):
             warm_flow_artifacts(point.spec, point.options, store,
                                 include_snr_simulation=include_snr,
                                 snr_samples=snr_samples)
-        n_workers = min(n_jobs, len(pending))
-        chunk = chunk_size or max(1, -(-len(pending) // (n_workers * 4)))
-        with ProcessPoolExecutor(max_workers=n_workers,
-                                 initializer=_init_worker,
-                                 initargs=(store,)) as pool:
-            results = pool.map(_execute_point_in_worker, payloads,
-                               chunksize=chunk)
-            for point, (record, d_hits, d_misses) in zip(pending, results):
-                # Fold worker-side stage reuse into the parent's telemetry.
-                store.hits += d_hits
-                store.misses += d_misses
-                finish(point, record)
+
+    payloads = [{**p.payload(), "flow": flow_settings} for p in pending]
+    _, mode, store = execute_payloads(
+        payloads, jobs=n_jobs, executor=executor, warm=warm,
+        on_result=finish, chunk_size=chunk_size)
 
     elapsed = time.perf_counter() - started
     results = [SweepPointResult(point=point, cache_key=keys[point.index],

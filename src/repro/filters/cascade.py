@@ -66,6 +66,7 @@ class MultirateCascade:
     # ------------------------------------------------------------------
     @property
     def total_decimation(self) -> int:
+        """Product of every stage's decimation factor."""
         total = 1
         for stage in self.stages:
             total *= stage.decimation
@@ -73,6 +74,7 @@ class MultirateCascade:
 
     @property
     def output_rate_hz(self) -> float:
+        """Sample rate at the cascade output."""
         return self.input_rate_hz / self.total_decimation
 
     def stage_input_rates(self) -> List[float]:

@@ -44,6 +44,7 @@ class EqualizerDesign:
 
     @property
     def order(self) -> int:
+        """Equalizer filter order (number of taps minus one)."""
         return len(self.taps) - 1
 
     def response(self, frequencies_hz: Optional[np.ndarray] = None,

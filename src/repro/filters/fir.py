@@ -134,14 +134,17 @@ class FIRFilterFixedPoint:
 
     @property
     def n_taps(self) -> int:
+        """Number of filter taps."""
         return len(self.taps)
 
     @property
     def order(self) -> int:
+        """Filter order (number of taps minus one)."""
         return self.n_taps - 1
 
     @property
     def is_symmetric(self) -> bool:
+        """Whether the tap vector is symmetric (linear phase)."""
         return bool(np.allclose(self.taps, self.taps[::-1], atol=1e-12))
 
     # ------------------------------------------------------------------

@@ -176,10 +176,12 @@ class SaramakiHalfband:
     # ------------------------------------------------------------------
     @property
     def n1(self) -> int:
+        """Order parameter of the tap-anchoring sub-filter."""
         return len(self.f1)
 
     @property
     def n2(self) -> int:
+        """Order parameter of the cascaded sub-filter."""
         return len(self.f2)
 
     @property
@@ -506,6 +508,7 @@ class HalfbandDecimator:
 
     @property
     def n_taps(self) -> int:
+        """Number of taps of the equivalent FIR halfband."""
         return len(self._int_taps)
 
     def process(self, samples: np.ndarray, backend: str = "auto") -> np.ndarray:

@@ -485,6 +485,7 @@ class HogenauerCascade:
 
     @property
     def total_decimation(self) -> int:
+        """Product of every stage's decimation factor."""
         total = 1
         for stage in self.stages:
             total *= stage.spec.decimation

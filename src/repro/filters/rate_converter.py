@@ -71,24 +71,50 @@ class FarrowRateConverter:
 
         The first and last couple of samples of the block are used only as
         interpolation support, so the output length is approximately
-        ``(len(samples) - 3) / conversion_ratio``.
+        ``(len(samples) - 3) / conversion_ratio`` (exactly
+        :meth:`expected_output_count`).
+
+        The evaluation is vectorized: all fractional positions are derived
+        with one cumulative sum (the same sequentially-rounded values the
+        original per-sample loop produced), and the four Farrow branch
+        polynomials are evaluated for every output sample with a single
+        ``(4, n)`` matrix product.
         """
         x = np.asarray(samples, dtype=float)
         if len(x) < 4:
             return np.zeros(0)
+        positions = self._positions(len(x))
+        if positions.size == 0:
+            return np.zeros(0)
+        base = np.floor(positions).astype(np.int64)
+        mu = positions - base
+        mu_powers = np.vstack((np.ones_like(mu), mu, mu * mu, mu * mu * mu))
+        weights = _LAGRANGE_FARROW @ mu_powers            # (4, n_out)
+        windows = x[base[:, None] + np.arange(-1, 3)]     # (n_out, 4)
+        return np.einsum("ij,ji->i", windows, weights)
+
+    def _positions(self, n_input: int) -> np.ndarray:
+        """Fractional input positions of every output sample.
+
+        Position ``k`` is the k-fold sequential sum ``1.0 + ratio + ...``
+        (one :func:`numpy.cumsum`, reproducing the rounding of an
+        accumulator loop); interpolation starts between ``x[1]`` and
+        ``x[2]`` and stops two samples short of the end, where the 4-tap
+        window would run out of support.
+        """
         ratio = self.conversion_ratio
-        outputs = []
-        position = 1.0  # interpolate between x[1] and x[2] onward
-        limit = len(x) - 2.0
-        while position < limit:
-            base = int(np.floor(position))
-            mu = position - base
-            window = x[base - 1:base + 3]
-            mu_powers = np.array([1.0, mu, mu * mu, mu * mu * mu])
-            weights = _LAGRANGE_FARROW @ mu_powers
-            outputs.append(float(np.dot(weights, window)))
-            position += ratio
-        return np.array(outputs)
+        limit = n_input - 2.0
+        if limit <= 1.0:
+            return np.zeros(0)
+        bound = int(np.ceil((limit - 1.0) / ratio)) + 2
+        steps = np.full(bound, ratio)
+        steps[0] = 1.0
+        positions = np.cumsum(steps)
+        return positions[positions < limit]
+
+    def expected_output_count(self, n_input: int) -> int:
+        """Number of output samples :meth:`process` produces for a block."""
+        return int(self._positions(n_input).size)
 
     # ------------------------------------------------------------------
     # Hardware accounting

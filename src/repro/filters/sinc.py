@@ -62,6 +62,7 @@ class SincFilterSpec:
 
     @property
     def output_rate_hz(self) -> float:
+        """Sample rate after this stage's decimation."""
         return self.input_rate_hz / self.decimation
 
     @property
@@ -190,6 +191,7 @@ class SincCascadeSpec:
 
     @property
     def total_decimation(self) -> int:
+        """Product of every stage's decimation factor."""
         return self.decimation_per_stage ** len(self.orders)
 
 
@@ -220,14 +222,17 @@ class SincCascade:
 
     @property
     def total_decimation(self) -> int:
+        """Product of every stage's decimation factor."""
         return self.spec.total_decimation
 
     @property
     def output_rate_hz(self) -> float:
+        """Sample rate at the cascade output."""
         return self.spec.input_rate_hz / self.total_decimation
 
     @property
     def output_bits(self) -> int:
+        """Word width at the cascade output (full register growth)."""
         return self.stages[-1].spec.output_bits if self.stages else self.spec.input_bits
 
     def stage_word_lengths(self) -> List[int]:

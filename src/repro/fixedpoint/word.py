@@ -118,18 +118,22 @@ class FixedPointFormat:
 
     @property
     def min_int(self) -> int:
+        """Smallest representable raw integer value."""
         return -(1 << (self.total_bits - 1))
 
     @property
     def max_int(self) -> int:
+        """Largest representable raw integer value."""
         return (1 << (self.total_bits - 1)) - 1
 
     @property
     def min_value(self) -> float:
+        """Smallest representable real value."""
         return self.min_int / self.scale
 
     @property
     def max_value(self) -> float:
+        """Largest representable real value."""
         return self.max_int / self.scale
 
     @property
@@ -138,9 +142,11 @@ class FixedPointFormat:
         return 1.0 / self.scale
 
     def with_overflow(self, overflow: OverflowMode) -> "FixedPointFormat":
+        """Copy of this format with a different overflow mode."""
         return FixedPointFormat(self.total_bits, self.fraction_bits, overflow, self.rounding)
 
     def with_rounding(self, rounding: RoundingMode) -> "FixedPointFormat":
+        """Copy of this format with a different rounding mode."""
         return FixedPointFormat(self.total_bits, self.fraction_bits, self.overflow, rounding)
 
     def widened(self, extra_bits: int) -> "FixedPointFormat":
@@ -182,6 +188,7 @@ class FixedPointFormat:
         return raw / self.scale
 
     def handle_overflow(self, raw: int) -> int:
+        """Apply the overflow mode (wrap/saturate) to a raw integer."""
         if self.min_int <= raw <= self.max_int:
             return raw
         if self.overflow is OverflowMode.WRAP:
@@ -194,6 +201,7 @@ class FixedPointFormat:
         )
 
     def handle_overflow_array(self, raw: np.ndarray) -> np.ndarray:
+        """Apply the overflow mode (wrap/saturate) to a raw integer array."""
         if self.overflow is OverflowMode.WRAP:
             return wrap_twos_complement(raw, self.total_bits)
         if self.overflow is OverflowMode.SATURATE:
@@ -209,6 +217,7 @@ class FixedPointFormat:
         return self.from_raw(self.to_raw(value))
 
     def quantize_array(self, values: Iterable[Number]) -> np.ndarray:
+        """Quantize a float array to raw integers under this format."""
         arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
         return self.from_raw(self.to_raw_array(arr))
 
@@ -234,10 +243,12 @@ class FixedPointWord:
     # ------------------------------------------------------------------
     @classmethod
     def from_value(cls, value: Number, fmt: FixedPointFormat) -> "FixedPointWord":
+        """Build a word from a real value under the given format."""
         return cls(fmt.to_raw(value), fmt)
 
     @classmethod
     def zero(cls, fmt: FixedPointFormat) -> "FixedPointWord":
+        """The all-zero word of the given format."""
         return cls(0, fmt)
 
     # ------------------------------------------------------------------
@@ -245,6 +256,7 @@ class FixedPointWord:
     # ------------------------------------------------------------------
     @property
     def value(self) -> float:
+        """The real value this word represents."""
         return self.fmt.from_raw(self.raw)
 
     def bits(self) -> str:

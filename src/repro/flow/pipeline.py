@@ -49,6 +49,7 @@ class FlowResult:
 
     @property
     def meets_spec(self) -> bool:
+        """Whether the verification report passed every check."""
         return self.verification.passed
 
     def simulate_blocks(self, codes: Union[np.ndarray, Iterable[np.ndarray]],
@@ -121,7 +122,9 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
                     snr_samples: int = 32768,
                     measure_activity: bool = True,
                     backend: str = "auto",
-                    artifacts: Optional[ArtifactStore] = None) -> FlowResult:
+                    artifacts: Optional[ArtifactStore] = None,
+                    snr_tone_hz: Optional[float] = None,
+                    snr_amplitude: Optional[float] = None) -> FlowResult:
     """Run the complete rapid design-and-synthesis flow.
 
     Parameters
@@ -153,12 +156,18 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
         modulator bit-stream) across flow runs.  Results are bit-identical
         with or without a store; per-run stages (synthesis, the per-chain
         SNR leg) always execute.
+    snr_tone_hz, snr_amplitude:
+        Optional explicit SNR stimulus, forwarded to
+        :func:`repro.core.verification.verify_chain`; the defaults derive
+        the paper's bandwidth/4 tone at 0.95 x MSA from the spec.
     """
     spec = spec or paper_chain_spec()
     chain = DecimationChain.design(spec, options, artifacts=artifacts)
     verification = verify_chain(chain, include_snr=include_snr_simulation,
                                 snr_samples=snr_samples, backend=backend,
-                                artifacts=artifacts)
+                                artifacts=artifacts,
+                                snr_tone_hz=snr_tone_hz,
+                                snr_amplitude=snr_amplitude)
     synthesis = SynthesisFlow(library).run(chain, measure_activity=measure_activity)
     snr = verification.metadata.get("simulated_snr_db")
     return FlowResult(
@@ -176,7 +185,9 @@ def warm_flow_artifacts(spec: Optional[ChainSpec],
                         artifacts: ArtifactStore,
                         include_snr_simulation: bool = False,
                         snr_samples: int = 32768,
-                        modulator_engine: str = "fast") -> None:
+                        modulator_engine: str = "fast",
+                        snr_tone_hz: Optional[float] = None,
+                        snr_amplitude: Optional[float] = None) -> None:
     """Pre-compute the shareable stages of :func:`run_design_flow`.
 
     Fills ``artifacts`` with the chain-design sub-stages, the mask
@@ -194,6 +205,6 @@ def warm_flow_artifacts(spec: Optional[ChainSpec],
         from repro.core.verification import snr_stimulus_parameters
 
         exact_tone_hz, amplitude, total, _ = snr_stimulus_parameters(
-            chain, snr_samples)
+            chain, snr_samples, tone_hz=snr_tone_hz, amplitude=snr_amplitude)
         modulator_tone_codes(spec.modulator, exact_tone_hz, amplitude, total,
                              engine=modulator_engine, artifacts=artifacts)

@@ -33,6 +33,7 @@ class AreaReport:
 
     @property
     def total_cell_area_um2(self) -> float:
+        """Total standard-cell area in µm² (before utilization overhead)."""
         return sum(s.cell_area_um2 for s in self.stages)
 
     @property

@@ -41,6 +41,7 @@ class StagePower:
 
     @property
     def total_mw(self) -> float:
+        """Total stage power (dynamic + leakage) in milliwatts."""
         return self.dynamic_mw + self.clock_mw + self.leakage_uw / 1000.0
 
 
@@ -55,14 +56,17 @@ class PowerReport:
 
     @property
     def total_dynamic_mw(self) -> float:
+        """Total dynamic power in milliwatts."""
         return sum(s.dynamic_mw + s.clock_mw for s in self.stages)
 
     @property
     def total_leakage_uw(self) -> float:
+        """Total leakage power in microwatts."""
         return sum(s.leakage_uw for s in self.stages)
 
     @property
     def total_mw(self) -> float:
+        """Total power (dynamic + leakage) in milliwatts."""
         return self.total_dynamic_mw + self.total_leakage_uw / 1000.0
 
     def dynamic_fractions(self) -> Dict[str, float]:

@@ -39,10 +39,12 @@ class StageResources:
 
     @property
     def total_adder_bits(self) -> int:
+        """Total adder bits across the stage."""
         return self.fast_adder_bits + self.slow_adder_bits
 
     @property
     def total_register_bits(self) -> int:
+        """Total register (flip-flop) bits across the stage."""
         return self.register_bits_fast + self.register_bits_slow
 
     @property

@@ -33,10 +33,12 @@ class SynthesisReport:
 
     @property
     def total_power_mw(self) -> float:
+        """Total estimated power of the chain in milliwatts."""
         return self.power.total_mw
 
     @property
     def total_area_mm2(self) -> float:
+        """Total estimated layout area in mm²."""
         return self.area.total_layout_area_mm2
 
     @property

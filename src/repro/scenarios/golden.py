@@ -1,0 +1,219 @@
+"""Golden records: committed scenario outcomes and the regression checker.
+
+Every registered scenario has a committed golden record under
+``src/repro/scenarios/goldens/<name>.json`` — the canonical JSON of its
+full design-flow record (spec, options, design summary, verification
+checks, power table, gate count, stimulus and rate-converter leg).
+:func:`diff_records` compares a fresh run against the golden field by
+field with a tolerance policy: exact for structure, integers, booleans and
+strings; a tight relative tolerance for floats (the flow is deterministic,
+so same-machine reruns are byte-identical — the float tolerance only
+absorbs last-ulp libm/BLAS differences across platforms and NumPy
+versions).  ``python -m repro scenario check`` drives this from the shell
+and exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.spec import canonical_json
+
+__all__ = [
+    "GOLDEN_SCHEMA_VERSION",
+    "TolerancePolicy",
+    "DEFAULT_TOLERANCE",
+    "FieldDiff",
+    "golden_dir",
+    "golden_path",
+    "load_golden",
+    "write_golden",
+    "diff_records",
+    "check_record",
+]
+
+#: Schema version of the golden-record files.
+GOLDEN_SCHEMA_VERSION = 1
+
+
+def golden_dir() -> Path:
+    """Directory of the committed golden records (inside the package)."""
+    return Path(__file__).resolve().parent / "goldens"
+
+
+def golden_path(name: str) -> Path:
+    """Path of one scenario's golden-record file."""
+    return golden_dir() / f"{name}.json"
+
+
+def load_golden(name: str) -> Optional[dict]:
+    """Load a scenario's golden record, or ``None`` when not committed."""
+    path = golden_path(name)
+    if not path.exists():
+        return None
+    with path.open("r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != GOLDEN_SCHEMA_VERSION:
+        raise ValueError(
+            f"golden record {path} has schema {payload.get('schema')!r} "
+            f"(expected {GOLDEN_SCHEMA_VERSION}); regenerate with "
+            f"'python -m repro scenario run --all --write-goldens'")
+    return payload["record"]
+
+
+def write_golden(name: str, record: dict) -> Path:
+    """Write (or replace) a scenario's golden record; returns its path.
+
+    The payload is canonical JSON (sorted keys, fixed separators) pretty-
+    printed for reviewable diffs; writing the same record twice produces a
+    byte-identical file.
+    """
+    directory = golden_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": GOLDEN_SCHEMA_VERSION, "scenario": name,
+               "record": json.loads(canonical_json(record))}
+    path = golden_path(name)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    return path
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """Field-comparison tolerances of the golden-record checker.
+
+    Floats compare with :func:`math.isclose` under ``float_rel`` /
+    ``float_abs``; every other type compares exactly.  ``overrides`` maps
+    :mod:`fnmatch`-style path patterns (e.g. ``"summary.*_mw"`` or
+    ``"rate_converter.*.tone_rms_amplitude"``) to ``(rel, abs)`` pairs for
+    fields that legitimately need a looser (or tighter) budget; the first
+    matching pattern in insertion order wins.
+    """
+
+    #: Same-machine re-runs are byte-identical; the default budget only
+    #: absorbs last-ulp libm/BLAS differences across platforms and NumPy
+    #: versions.  Real regressions move results by far more than 1e-6.
+    float_rel: float = 1e-6
+    float_abs: float = 1e-9
+    overrides: Mapping[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def tolerances_for(self, path: str) -> Tuple[float, float]:
+        """The ``(rel, abs)`` budget applying to one field path."""
+        for pattern, budget in self.overrides.items():
+            if fnmatchcase(path, pattern):
+                return (float(budget[0]), float(budget[1]))
+        return (self.float_rel, self.float_abs)
+
+
+#: Default policy: structure exact, floats within 1e-6 relative.
+DEFAULT_TOLERANCE = TolerancePolicy()
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One field-level mismatch between a golden and a fresh record."""
+
+    #: Dotted path of the field (list indices inline, e.g. ``checks.0``).
+    path: str
+    #: Value in the golden record (``None`` for added fields).
+    expected: object
+    #: Value in the fresh record (``None`` for removed fields).
+    actual: object
+    #: Mismatch kind: ``"value"``, ``"type"``, ``"missing"``, ``"added"``
+    #: or ``"no-golden"``.
+    kind: str = "value"
+
+    def __str__(self) -> str:
+        if self.kind == "no-golden":
+            return "no committed golden record"
+        if self.kind == "missing":
+            return f"{self.path}: missing from fresh record (golden: {self.expected!r})"
+        if self.kind == "added":
+            return f"{self.path}: not in golden record (fresh: {self.actual!r})"
+        return (f"{self.path}: golden {self.expected!r} != fresh "
+                f"{self.actual!r}")
+
+
+def diff_records(expected: object, actual: object,
+                 policy: TolerancePolicy = DEFAULT_TOLERANCE,
+                 path: str = "") -> List[FieldDiff]:
+    """Recursively diff two JSON-like records field by field.
+
+    Returns one :class:`FieldDiff` per leaf-level mismatch (empty list
+    means the records agree under the policy).  Dictionaries are compared
+    by key set plus per-key recursion; lists by length plus per-index
+    recursion; float pairs under the policy's float tolerances; integers
+    exactly (an int and a float of equal value are considered equal,
+    matching JSON round-trip behaviour); everything else exactly.
+    """
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        diffs: List[FieldDiff] = []
+        for key in sorted(set(expected) | set(actual)):
+            sub_path = f"{path}.{key}" if path else str(key)
+            if key not in actual:
+                diffs.append(FieldDiff(sub_path, expected[key], None, "missing"))
+            elif key not in expected:
+                diffs.append(FieldDiff(sub_path, None, actual[key], "added"))
+            else:
+                diffs.extend(diff_records(expected[key], actual[key],
+                                          policy, sub_path))
+        return diffs
+    if isinstance(expected, list) and isinstance(actual, list):
+        diffs = []
+        for index in range(max(len(expected), len(actual))):
+            sub_path = f"{path}.{index}" if path else str(index)
+            if index >= len(actual):
+                diffs.append(FieldDiff(sub_path, expected[index], None, "missing"))
+            elif index >= len(expected):
+                diffs.append(FieldDiff(sub_path, None, actual[index], "added"))
+            else:
+                diffs.extend(diff_records(expected[index], actual[index],
+                                          policy, sub_path))
+        return diffs
+    if _is_number(expected) and _is_number(actual):
+        if isinstance(expected, bool) != isinstance(actual, bool):
+            return [FieldDiff(path, expected, actual, "type")]
+        if isinstance(expected, int) or isinstance(actual, int):
+            # Integers compare exactly (a one-gate regression on a million-
+            # gate design must not hide inside a relative tolerance); an
+            # int/float pair of equal value unifies, matching JSON
+            # round-trip behaviour.
+            if float(expected) == float(actual):
+                return []
+            return [FieldDiff(path, expected, actual)]
+        rel, abs_tol = policy.tolerances_for(path)
+        if math.isclose(expected, actual, rel_tol=rel, abs_tol=abs_tol):
+            return []
+        return [FieldDiff(path, expected, actual)]
+    if type(expected) is not type(actual):
+        return [FieldDiff(path, expected, actual, "type")]
+    if expected != actual:
+        return [FieldDiff(path, expected, actual)]
+    return []
+
+
+def _is_number(value: object) -> bool:
+    """JSON numbers (and bools, which the caller type-checks separately)."""
+    return isinstance(value, (int, float))
+
+
+def check_record(name: str, record: dict,
+                 policy: TolerancePolicy = DEFAULT_TOLERANCE) -> List[FieldDiff]:
+    """Diff a fresh scenario record against its committed golden.
+
+    A missing golden file is itself a failure (one ``"no-golden"`` diff) —
+    every registered scenario must ship a golden record.
+    """
+    golden = load_golden(name)
+    if golden is None:
+        return [FieldDiff("", None, None, "no-golden")]
+    # Normalize the fresh record through the same JSON round-trip as the
+    # golden file, so tuples/lists and int/float unify before the diff.
+    normalized = json.loads(canonical_json(record))
+    return diff_records(golden, normalized, policy)

@@ -1,0 +1,364 @@
+"""Scenario execution: the suite runner over the shared flow harness.
+
+:func:`run_scenario` and :func:`run_scenario_suite` execute registered
+scenarios through the same staged, memoized pipeline as the design-space
+sweeps: each scenario becomes a JSON-safe payload, the payloads run on the
+:func:`repro.explore.runner.execute_payloads` harness (``inline`` /
+``thread`` / ``process`` executors, one shared
+:class:`~repro.flow.artifacts.ArtifactStore` per run) and the records land
+in the same on-disk :class:`~repro.explore.cache.SweepCache`.  Scenario
+records are therefore byte-identical across executors and across cached
+re-runs, which is what lets the golden-record checker
+(:mod:`repro.scenarios.golden`) treat any diff as a regression.
+
+On top of the design flow, a scenario record adds the resolved stimulus
+and — for scenarios with ``resample_rates_hz`` — the Farrow rate-converter
+leg: the designed chain's bit-true output is resampled to each requested
+rate and the recovered tone, output length and hardware resources are
+recorded (the paper's Section III flexible-output-rate use-case).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.explore.cache import SweepCache
+from repro.explore.runner import execute_payloads, flow_record, run_flow_payload
+from repro.flow.artifacts import ArtifactStore
+from repro.scenarios.registry import Scenario, resolve_scenarios
+
+__all__ = [
+    "ScenarioRunResult",
+    "ScenarioSuiteResult",
+    "run_scenario",
+    "run_scenario_suite",
+    "execute_scenario_payload",
+]
+
+
+def execute_scenario_payload(payload: dict,
+                             artifacts: Optional[ArtifactStore] = None) -> dict:
+    """Run one scenario payload and return its JSON-safe record.
+
+    Module-level (picklable by reference) so the process executor can ship
+    it to pool workers.  The record is the design-flow record of
+    :func:`repro.explore.runner.flow_record` extended with the scenario
+    name, the resolved (coherent) stimulus and the rate-converter leg.
+    """
+    from repro.core.verification import snr_stimulus_parameters
+
+    result = run_flow_payload(payload, artifacts)
+    record = flow_record(result)
+    flow = payload["flow"]
+    scenario = payload.get("scenario", {})
+    chain = result.chain
+
+    exact_tone_hz, amplitude, total, settle = snr_stimulus_parameters(
+        chain, flow["snr_samples"], tone_hz=flow.get("snr_tone_hz"),
+        amplitude=flow.get("snr_amplitude"))
+    record["scenario"] = scenario.get("name")
+    record["stimulus"] = {
+        "tone_hz": flow.get("snr_tone_hz"),
+        "coherent_tone_hz": float(exact_tone_hz),
+        "amplitude": float(amplitude),
+        "n_samples": int(flow["snr_samples"]),
+    }
+    rates = scenario.get("resample_rates_hz") or []
+    record["rate_converter"] = (
+        _rate_converter_leg(chain, flow, rates, exact_tone_hz, amplitude,
+                            total, settle, artifacts)
+        if rates else [])
+    return record
+
+
+def _rate_converter_leg(chain, flow: dict, rates: Sequence[float],
+                        exact_tone_hz: float, amplitude: float,
+                        total: int, settle: int,
+                        artifacts: Optional[ArtifactStore]) -> List[dict]:
+    """Resample the chain's bit-true output to each requested rate.
+
+    Reuses the memoized modulator bit-stream (same artifact key as the SNR
+    leg, so an ``include_snr`` scenario simulates the modulator once), runs
+    the designed chain, and measures the recovered tone after the cubic
+    Farrow resampler: peak-bin frequency, RMS-estimated amplitude, and the
+    input/output length ratio, plus the converter's hardware resources.
+    """
+    from repro.core.verification import modulator_tone_codes
+    from repro.filters.rate_converter import FarrowRateConverter
+
+    spec = chain.spec
+    codes = modulator_tone_codes(spec.modulator, exact_tone_hz, amplitude,
+                                 total, artifacts=artifacts)
+    words = chain.process_fixed(codes, backend=flow.get("backend", "auto"))
+    output = chain.output_to_normalized(words)[settle:]
+    input_rate = float(spec.decimator.output_rate_hz)
+
+    entries: List[dict] = []
+    for rate in rates:
+        converter = FarrowRateConverter(input_rate, float(rate))
+        resampled = converter.process(output)
+        window = np.hanning(len(resampled))
+        spectrum = np.abs(np.fft.rfft(resampled * window))
+        freqs = np.fft.rfftfreq(len(resampled), d=1.0 / float(rate))
+        peak_hz = float(freqs[int(np.argmax(spectrum))])
+        rms_amplitude = float(np.sqrt(2.0 * np.mean(resampled ** 2)))
+        entries.append({
+            "input_rate_hz": input_rate,
+            "output_rate_hz": float(rate),
+            "conversion_ratio": float(converter.conversion_ratio),
+            "n_input": int(len(output)),
+            "n_output": int(len(resampled)),
+            "tone_peak_hz": peak_hz,
+            "tone_rms_amplitude": rms_amplitude,
+            "resources": converter.resource_summary(
+                spec.decimator.output_bits),
+        })
+    return entries
+
+
+@dataclass
+class ScenarioRunResult:
+    """Outcome of one scenario: identity, record and provenance."""
+
+    scenario: Scenario
+    cache_key: str
+    record: dict
+    #: Whether the record came from the on-disk cache (not serialized into
+    #: reports, so cached re-runs stay byte-identical).
+    from_cache: bool = False
+
+    @property
+    def name(self) -> str:
+        """The scenario's registry name."""
+        return self.scenario.name
+
+    @property
+    def meets_spec(self) -> bool:
+        """Whether the designed chain passed every verification check."""
+        return bool(self.record["summary"]["meets_spec"])
+
+    @property
+    def snr_db(self) -> float:
+        """Measured end-to-end SNR when simulated, else the linear estimate."""
+        simulated = self.record.get("simulated_snr_db")
+        return float(simulated if simulated is not None
+                     else self.record["predicted_snr_db"])
+
+    @property
+    def power_mw(self) -> float:
+        """Total estimated power in milliwatts."""
+        return float(self.record["summary"]["total_power_mw"])
+
+    @property
+    def area_mm2(self) -> float:
+        """Total estimated layout area in mm²."""
+        return float(self.record["summary"]["total_area_mm2"])
+
+    @property
+    def gate_count(self) -> int:
+        """NAND2-equivalent gate count of the whole chain."""
+        return int(self.record["gate_count"])
+
+    def metrics_row(self) -> Dict[str, object]:
+        """Flat metrics dictionary consumed by the reports/catalog."""
+        row = self.scenario.summary_row()
+        row.update({
+            "snr_db": self.snr_db,
+            "simulated_snr_db": self.record.get("simulated_snr_db"),
+            "predicted_snr_db": float(self.record["predicted_snr_db"]),
+            "power_mw": self.power_mw,
+            "area_mm2": self.area_mm2,
+            "gate_count": self.gate_count,
+            "meets_spec": self.meets_spec,
+        })
+        return row
+
+
+@dataclass
+class ScenarioSuiteResult:
+    """All scenario results of one suite run plus run provenance."""
+
+    results: List[ScenarioRunResult]
+    elapsed_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def by_name(self) -> Dict[str, ScenarioRunResult]:
+        """Results keyed by scenario name."""
+        return {r.name: r for r in self.results}
+
+    def metrics_rows(self) -> List[Dict[str, object]]:
+        """Per-scenario metric rows, in suite order."""
+        return [r.metrics_row() for r in self.results]
+
+
+def run_scenario(scenario: Union[str, Scenario],
+                 artifacts: Optional[ArtifactStore] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 ) -> ScenarioRunResult:
+    """Run a single scenario (by name or object) through the design flow.
+
+    Thin wrapper over :func:`run_scenario_suite` for the one-scenario
+    case; ``artifacts`` optionally shares a store with the caller (e.g. an
+    example script running several scenarios in sequence).
+    """
+    suite = run_scenario_suite([scenario], cache_dir=cache_dir,
+                               store=artifacts)
+    return suite.results[0]
+
+
+def run_scenario_suite(scenarios: Optional[Sequence[Union[str, Scenario]]] = None,
+                       jobs: int = 1,
+                       executor: str = "auto",
+                       cache_dir: Optional[Union[str, Path]] = None,
+                       progress: Optional[Callable[[str], None]] = None,
+                       store: Optional[ArtifactStore] = None,
+                       chunk_size: Optional[int] = None) -> ScenarioSuiteResult:
+    """Execute a set of scenarios, in parallel, with caching.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario names and/or :class:`Scenario` objects; ``None`` runs
+        every registered scenario.
+    jobs:
+        Maximum concurrent scenario executions (``1`` runs inline).
+    executor:
+        ``"inline"``, ``"thread"``, ``"process"`` or ``"auto"`` — the same
+        executors as :func:`repro.explore.run_sweep`, all byte-identical.
+    cache_dir:
+        Directory of the on-disk result cache (shared with the sweep
+        engine); ``None`` disables caching.
+    progress:
+        Optional callback invoked with one line per completed scenario
+        (``[cache] <name>`` for hits, ``[run i/N] <name>`` for misses).
+    store:
+        Optional shared artifact store (a fresh one is created per run).
+    chunk_size:
+        Scenarios per process-pool task (process executor only).
+
+    Returns
+    -------
+    ScenarioSuiteResult
+        Per-scenario records in selection order plus cache/run statistics.
+    """
+    selected = resolve_scenarios(list(scenarios) if scenarios is not None
+                                 else None)
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    started = time.perf_counter()
+
+    keys = [s.cache_key() for s in selected]
+    records: Dict[int, dict] = {}
+    from_cache: Dict[int, bool] = {}
+    pending: List[int] = []
+    for index, (scenario, key) in enumerate(zip(selected, keys)):
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            records[index] = cached
+            from_cache[index] = True
+            if progress is not None:
+                progress(f"[cache] {scenario.name}")
+        else:
+            pending.append(index)
+
+    completed = 0
+
+    def finish(pending_pos: int, record: dict) -> None:
+        nonlocal completed
+        completed += 1
+        index = pending[pending_pos]
+        records[index] = record
+        from_cache[index] = False
+        if cache is not None:
+            cache.put(keys[index], record)
+        if progress is not None:
+            progress(f"[run {completed}/{len(pending)}] "
+                     f"{selected[index].name}")
+
+    def warm(store: ArtifactStore) -> None:
+        _warm_shared_stages([selected[i] for i in pending], store)
+
+    payloads = [selected[i].payload() for i in pending]
+    _, mode, used_store = execute_payloads(
+        payloads, task=execute_scenario_payload, jobs=jobs,
+        executor=executor, store=store, warm=warm, on_result=finish,
+        chunk_size=chunk_size)
+
+    elapsed = time.perf_counter() - started
+    results = [ScenarioRunResult(scenario=scenario, cache_key=keys[index],
+                                 record=records[index],
+                                 from_cache=from_cache[index])
+               for index, scenario in enumerate(selected)]
+    return ScenarioSuiteResult(
+        results=results,
+        elapsed_s=elapsed,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=len(pending),
+        jobs=int(jobs),
+        metadata={"executor": mode, "artifact_store": used_store.stats(),
+                  "num_scenarios": len(selected)},
+    )
+
+
+def _warm_shared_stages(pending: Sequence[Scenario],
+                        store: ArtifactStore) -> None:
+    """Pre-compute stages shared by >= 2 pending scenarios in the parent.
+
+    Mirrors the sweep runner's warming policy: one representative per
+    design-sharing group (spec + options minus the output word width) is
+    designed and mask-verified in the parent before the process pool ships
+    the store to the workers; singleton scenarios run their whole flow in
+    the pool.  The modulator bit-stream is warmed only when two scenarios
+    share the full (modulator, stimulus) key.
+    """
+    from repro.core.spec import content_hash
+    from repro.flow.pipeline import warm_flow_artifacts
+
+    design_groups: Dict[str, List[Scenario]] = {}
+    snr_groups: Dict[str, List[Scenario]] = {}
+    for scenario in pending:
+        spec_dict = scenario.spec.to_dict()
+        spec_dict.get("decimator", {}).pop("output_bits", None)
+        design_sig = content_hash({"spec": spec_dict,
+                                   "options": scenario.options.to_dict()})
+        design_groups.setdefault(design_sig, []).append(scenario)
+        if scenario.include_snr or scenario.resample_rates_hz:
+            flow = scenario.flow_settings()
+            snr_sig = content_hash({
+                "modulator": scenario.spec.to_dict()["modulator"],
+                "tone_hz": flow["snr_tone_hz"],
+                "amplitude": flow["snr_amplitude"],
+                "n_samples": flow["snr_samples"],
+            })
+            snr_groups.setdefault(snr_sig, []).append(scenario)
+
+    for group in design_groups.values():
+        if len(group) > 1:
+            representative = group[0]
+            warm_flow_artifacts(representative.spec, representative.options,
+                                store)
+    for group in snr_groups.values():
+        if len(group) > 1:
+            # Cheap even when the group's design was just warmed: the
+            # design/mask stages hit the store and only the modulator
+            # bit-stream is simulated.
+            representative = group[0]
+            flow = representative.flow_settings()
+            warm_flow_artifacts(representative.spec, representative.options,
+                                store, include_snr_simulation=True,
+                                snr_samples=flow["snr_samples"],
+                                snr_tone_hz=flow["snr_tone_hz"],
+                                snr_amplitude=flow["snr_amplitude"])

@@ -34,7 +34,8 @@ class TestHelp:
         assert "sweep" in proc.stdout
 
     @pytest.mark.parametrize("command",
-                             ["design", "verify", "sweep", "report", "cache"])
+                             ["design", "verify", "sweep", "scenario",
+                              "report", "cache"])
     def test_subcommand_help(self, command):
         proc = run_cli(command, "--help")
         assert command in proc.stdout or "usage" in proc.stdout
@@ -132,6 +133,55 @@ class TestSweepAndReport:
                        "--no-cache", cwd=tmp_path)
         assert "[run 1/2]" in proc.stderr
         assert "[run 2/2]" in proc.stderr
+
+
+class TestScenarioCommand:
+    def test_list_shows_registry(self):
+        proc = run_cli("scenario", "list")
+        assert "lte-20" in proc.stdout
+        assert "sdr-lte-30p72" in proc.stdout
+
+    def test_run_writes_reports_and_caches(self, tmp_path):
+        cache = tmp_path / "cache"
+        json_out = tmp_path / "suite.json"
+        md_out = tmp_path / "suite.md"
+        first = run_cli("scenario", "run", "voice-8k", "--quiet",
+                        "--cache-dir", str(cache),
+                        "--json", str(json_out), "--markdown", str(md_out),
+                        cwd=tmp_path)
+        assert "1 scenarios" in first.stderr
+        payload = json.loads(json_out.read_text(encoding="utf-8"))
+        assert payload["num_scenarios"] == 1
+        assert payload["scenarios"][0]["name"] == "voice-8k"
+        assert "voice-8k" in md_out.read_text(encoding="utf-8")
+
+        rerun_out = tmp_path / "suite2.json"
+        second = run_cli("scenario", "run", "voice-8k", "--quiet",
+                         "--cache-dir", str(cache),
+                         "--json", str(rerun_out), cwd=tmp_path)
+        assert "1 cached, 0 executed" in second.stderr
+        assert rerun_out.read_bytes() == json_out.read_bytes()
+
+    def test_report_rerenders_saved_json(self, tmp_path):
+        json_out = tmp_path / "suite.json"
+        md_out = tmp_path / "suite.md"
+        run_cli("scenario", "run", "voice-8k", "--quiet",
+                "--json", str(json_out), "--markdown", str(md_out),
+                cwd=tmp_path)
+        proc = run_cli("scenario", "report", str(json_out))
+        assert proc.stdout.strip() == md_out.read_text(encoding="utf-8").strip()
+
+    def test_check_passes_against_goldens(self, tmp_path):
+        proc = run_cli("scenario", "check", "voice-8k", "audio-48k",
+                       "--quiet", cwd=tmp_path)
+        assert "[ok]   voice-8k" in proc.stdout
+        assert "OK: 2 scenario(s) match their golden records" in proc.stdout
+
+    def test_check_fails_cleanly_on_unknown_scenario(self):
+        proc = run_cli("scenario", "check", "no-such-scenario", check=False)
+        assert proc.returncode != 0
+        assert "unknown scenario(s): no-such-scenario" in proc.stderr
+        assert "Traceback" not in proc.stderr
 
 
 class TestCacheCommand:

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Docstring coverage check for the public ``repro`` API.
+
+Walks every module under ``src/repro`` with :mod:`ast` (no imports, so it
+is cheap and side-effect free) and requires a docstring on each *public*
+symbol: modules, module-level classes and functions, and public methods of
+public classes.  A symbol is public when neither its own name nor any
+enclosing scope name starts with ``_`` (dunder methods are exempt, as are
+``TYPE_CHECKING``-style constants — only definitions are checked).
+
+Usage::
+
+    python tools/check_docstrings.py              # check src/repro
+    python tools/check_docstrings.py src/repro/scenarios   # subtree only
+
+Exits non-zero listing every undocumented public symbol.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _definitions(node: ast.AST):
+    """Yield the class/function definitions directly inside ``node``."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            yield child
+
+
+def check_module(path: Path, module_name: str) -> List[str]:
+    """Return the undocumented public symbols of one module file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    missing: List[str] = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{module_name}: module docstring")
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for definition in _definitions(node):
+            name = definition.name
+            if not _is_public(name):
+                continue
+            qualified = f"{prefix}.{name}"
+            if ast.get_docstring(definition) is None:
+                kind = ("class" if isinstance(definition, ast.ClassDef)
+                        else "function")
+                missing.append(f"{qualified}: {kind} docstring")
+            if isinstance(definition, ast.ClassDef):
+                visit(definition, qualified)
+
+    visit(tree, module_name)
+    return missing
+
+
+def iter_modules(target: Path):
+    """Yield ``(path, dotted_module_name)`` for every module under target."""
+    base = target if target.is_dir() else target.parent
+    src_root = base
+    while src_root.name != "src" and src_root.parent != src_root:
+        src_root = src_root.parent
+    files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+    for path in files:
+        module = ".".join(path.relative_to(src_root).with_suffix("").parts)
+        yield path, module
+
+
+def main(argv) -> int:
+    """Check the given targets (default ``src/repro``); exit 1 on gaps."""
+    targets = [Path(arg) for arg in argv] or [DEFAULT_TARGET]
+    missing: List[str] = []
+    checked = 0
+    for target in targets:
+        if not target.exists():
+            print(f"{target}: path not found")
+            return 2
+        for path, module in iter_modules(target):
+            checked += 1
+            missing.extend(check_module(path, module))
+    if missing:
+        print("\n".join(missing))
+        print(f"\n{len(missing)} undocumented public symbol(s) across "
+              f"{checked} module(s)")
+        return 1
+    print(f"OK: {checked} module(s), every public symbol documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

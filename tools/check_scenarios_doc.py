@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Keep ``docs/SCENARIOS.md`` in sync with the scenario registry.
+
+The scenario catalog is generated from the registry plus the committed
+golden records (:func:`repro.scenarios.scenario_catalog_markdown`), so it
+cannot drift from the code.  This tool compares the committed document
+against a fresh render:
+
+Usage::
+
+    python tools/check_scenarios_doc.py          # check (CI mode; exit 1 on drift)
+    python tools/check_scenarios_doc.py --write  # regenerate the document
+
+Run with the repository root as the working directory (or pass ``--doc``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_DOC = REPO_ROOT / "docs" / "SCENARIOS.md"
+
+
+def main(argv=None) -> int:
+    """Check or regenerate the catalog; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="write the freshly generated catalog instead "
+                             "of checking")
+    parser.add_argument("--doc", type=Path, default=DEFAULT_DOC,
+                        help=f"catalog path (default: {DEFAULT_DOC})")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.scenarios import scenario_catalog_markdown
+
+    fresh = scenario_catalog_markdown()
+    if args.write:
+        args.doc.write_text(fresh, encoding="utf-8")
+        print(f"Wrote {args.doc}")
+        return 0
+
+    if not args.doc.exists():
+        print(f"{args.doc}: missing; regenerate with "
+              f"'python tools/check_scenarios_doc.py --write'")
+        return 1
+    committed = args.doc.read_text(encoding="utf-8")
+    if committed == fresh:
+        print(f"OK: {args.doc} matches the scenario registry")
+        return 0
+    diff = difflib.unified_diff(
+        committed.splitlines(keepends=True), fresh.splitlines(keepends=True),
+        fromfile=str(args.doc), tofile="generated")
+    sys.stdout.writelines(diff)
+    print(f"\n{args.doc} has drifted from the registry; regenerate with "
+          f"'python tools/check_scenarios_doc.py --write'")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
