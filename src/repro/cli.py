@@ -11,11 +11,20 @@ Every workload in ``examples/`` is reproducible from the shell:
   ``run`` named scenarios (or ``--all``) on the same memoized engine,
   ``report`` a saved run, and ``check`` fresh runs against the committed
   golden records (exit 1 on any regression).
+* ``robustness`` — the Monte Carlo yield subsystem: ``run`` seeded
+  perturbation populations over scenarios (batched through the vectorized
+  engines), ``report`` a saved run, and ``check`` the pinned small run
+  against its committed golden record (exit 1 on drift).
 * ``report`` — re-render a saved sweep JSON report without re-running.
 * ``cache``  — ``stats`` / ``prune`` for the on-disk sweep result cache.
 
+Argument errors (bad ``--jobs``, unknown scenarios, missing report files)
+print a one-line ``error: ...`` message and exit with code 2; only
+genuinely unexpected failures surface as tracebacks.
+
 See ``docs/GUIDE.md`` for a task-oriented walkthrough,
-``docs/SCENARIOS.md`` for the scenario catalog and
+``docs/SCENARIOS.md`` for the scenario catalog,
+``docs/ROBUSTNESS.md`` for the perturbation-axis model and
 ``docs/PERFORMANCE.md`` for the engine/executor guide.
 """
 
@@ -23,11 +32,78 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
 #: Default on-disk cache directory of the ``sweep`` subcommand.
 DEFAULT_CACHE_DIR = ".repro-sweep-cache"
+
+
+class CLIError(Exception):
+    """A user-input error: printed as one ``error: ...`` line, exit code 2."""
+
+
+def _require_positive(value: Optional[int], flag: str) -> None:
+    """Reject non-positive integer flags with a clean one-line error."""
+    if value is not None and value < 1:
+        raise CLIError(f"{flag} must be at least 1 (got {value})")
+
+
+def _require_file(path: str, what: str) -> None:
+    """Reject nonexistent input file paths with a clean one-line error."""
+    if not os.path.isfile(path):
+        raise CLIError(f"{what} not found: {path}")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser,
+                             what: str) -> None:
+    """The shared ``--jobs``/``--executor``/``--cache-dir`` trio.
+
+    Used by every subcommand that fans work out on the
+    :func:`repro.explore.runner.execute_payloads` harness (scenario and
+    robustness runs/checks); the sweep subcommand keeps its own variants
+    for legacy ``--workers`` compatibility and a default cache directory.
+    """
+    parser.add_argument("--jobs", type=int, default=1,
+                        help=f"maximum concurrent {what} (default: 1)")
+    parser.add_argument("--executor", default="auto",
+                        choices=["auto", "inline", "thread", "process"],
+                        help="executor for the run (default: auto)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk result cache directory "
+                             "(default: no cache)")
+
+
+def _add_report_arguments(parser: argparse.ArgumentParser,
+                          producer: str) -> None:
+    """The shared ``RESULTS.json`` / ``--format`` / ``--out`` trio of the
+    saved-report re-renderers."""
+    parser.add_argument("results", metavar="RESULTS.json",
+                        help=f"JSON report written by '{producer}'")
+    parser.add_argument("--format", default="markdown",
+                        choices=["markdown", "json"],
+                        help="output format (default: markdown)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write to FILE instead of stdout")
+
+
+def _render_saved_report(args: argparse.Namespace, renderer) -> int:
+    """Re-render a saved JSON report through ``renderer(text, fmt)``.
+
+    Corrupt files and schema mismatches (e.g. a sweep report fed to
+    ``robustness report``) are user-input errors, not crashes: they
+    convert to one-line :class:`CLIError` messages.
+    """
+    _require_file(args.results, "report file")
+    with open(args.results, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        rendered = renderer(text, args.format)
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise CLIError(f"invalid report file {args.results}: {exc}")
+    _write_or_print(rendered, args.out)
+    return 0
 
 
 def _library_choices() -> List[str]:
@@ -122,14 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="scenario names (see 'scenario list')")
         sub_parser.add_argument("--all", action="store_true", dest="run_all",
                                 help="select every registered scenario")
-        sub_parser.add_argument("--jobs", type=int, default=1,
-                                help="maximum concurrent scenario executions")
-        sub_parser.add_argument("--executor", default="auto",
-                                choices=["auto", "inline", "thread", "process"],
-                                help="executor for the suite run (default: auto)")
-        sub_parser.add_argument("--cache-dir", default=None, metavar="DIR",
-                                help="on-disk result cache directory "
-                                     "(default: no cache)")
+        _add_execution_arguments(sub_parser, "scenario executions")
         sub_parser.add_argument("--quiet", action="store_true",
                                 help="suppress per-scenario progress lines")
     scenario_run.add_argument("--json", metavar="FILE",
@@ -141,24 +210,61 @@ def build_parser() -> argparse.ArgumentParser:
                                    "from this run")
     scenario_report = scenario_sub.add_parser(
         "report", help="re-render a saved scenario suite JSON report")
-    scenario_report.add_argument("results", metavar="RESULTS.json",
-                                 help="JSON report written by "
-                                      "'scenario run --json'")
-    scenario_report.add_argument("--format", default="markdown",
-                                 choices=["markdown", "json"],
-                                 help="output format (default: markdown)")
-    scenario_report.add_argument("--out", metavar="FILE",
-                                 help="write to FILE instead of stdout")
+    _add_report_arguments(scenario_report, "scenario run --json")
+
+    robustness = sub.add_parser(
+        "robustness", help="Monte Carlo robustness & yield analysis")
+    robustness_sub = robustness.add_subparsers(dest="robustness_command",
+                                               required=True)
+    robustness_run = robustness_sub.add_parser(
+        "run", help="run a seeded Monte Carlo yield analysis over scenarios")
+    robustness_run.add_argument("names", nargs="*", metavar="NAME",
+                                help="scenario names (see 'scenario list')")
+    robustness_run.add_argument("--all", action="store_true", dest="run_all",
+                                help="select every registered scenario")
+    robustness_run.add_argument("--samples", type=int, default=256,
+                                help="Monte Carlo samples per scenario "
+                                     "(default: 256)")
+    robustness_run.add_argument("--seed", type=int, default=2011,
+                                help="seed of the perturbation draws "
+                                     "(default: 2011)")
+    robustness_run.add_argument("--stimulus-samples", type=int, default=None,
+                                help="override the scenario's stimulus "
+                                     "record length (shorter = faster)")
+    robustness_run.add_argument("--variants", type=int, default=4,
+                                help="perturbed chain variants drawn by the "
+                                     "coefficient axes (default: 4)")
+    robustness_run.add_argument("--disable", action="append", default=[],
+                                choices=["dither", "dropout", "mismatch",
+                                         "jitter", "corners"],
+                                metavar="AXIS",
+                                help="disable a perturbation axis (repeat "
+                                     "for several; choices: dither, dropout, "
+                                     "mismatch, jitter, corners)")
+    robustness_run.add_argument("--min-yield", type=float, default=0.9,
+                                help="yield target of the distribution "
+                                     "checks (default: 0.9)")
+    _add_execution_arguments(robustness_run, "population shards")
+    robustness_run.add_argument("--json", metavar="FILE",
+                                help="write the canonical JSON report to FILE")
+    robustness_run.add_argument("--markdown", metavar="FILE",
+                                help="write the markdown report to FILE")
+    robustness_run.add_argument("--quiet", action="store_true",
+                                help="suppress per-scenario progress lines")
+    robustness_report = robustness_sub.add_parser(
+        "report", help="re-render a saved robustness JSON report")
+    _add_report_arguments(robustness_report, "robustness run --json")
+    robustness_check = robustness_sub.add_parser(
+        "check", help="run the pinned small Monte Carlo and diff it against "
+                      "the committed golden record (exit 1 on drift)")
+    _add_execution_arguments(robustness_check, "population shards")
+    robustness_check.add_argument("--write-golden", action="store_true",
+                                  help="(re)write the committed golden "
+                                       "record from this run")
 
     report = sub.add_parser(
         "report", help="re-render a saved sweep JSON report")
-    report.add_argument("results", metavar="RESULTS.json",
-                        help="JSON report written by 'sweep --json'")
-    report.add_argument("--format", default="markdown",
-                        choices=["markdown", "json"],
-                        help="output format (default: markdown)")
-    report.add_argument("--out", metavar="FILE",
-                        help="write to FILE instead of stdout")
+    _add_report_arguments(report, "sweep --json")
 
     cache = sub.add_parser(
         "cache", help="inspect or prune the on-disk sweep result cache")
@@ -208,6 +314,7 @@ def _load_spec(args: argparse.Namespace):
     from repro.core.spec import ChainSpec, audio_chain_spec, paper_chain_spec
 
     if getattr(args, "spec_json", None):
+        _require_file(args.spec_json, "spec JSON file")
         with open(args.spec_json, "r", encoding="utf-8") as fh:
             return ChainSpec.from_dict(json.load(fh))
     return audio_chain_spec() if args.spec == "audio" else paper_chain_spec()
@@ -232,8 +339,8 @@ def _parse_split(text: str):
     try:
         return tuple(int(part) for part in text.split(","))
     except ValueError:
-        raise SystemExit(f"invalid sinc order split {text!r}: expected a "
-                         f"comma-separated list of integers like 4,4,6")
+        raise CLIError(f"invalid sinc order split {text!r}: expected a "
+                       f"comma-separated list of integers like 4,4,6")
 
 
 def _write_or_print(text: str, path: Optional[str]) -> None:
@@ -295,6 +402,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep_report_markdown,
     )
 
+    _require_positive(args.workers, "--workers")
+    _require_positive(args.jobs, "--jobs")
     splits: List[object] = []
     for entry in args.sinc_orders:
         splits.append("auto" if entry == "auto" else _parse_split(entry))
@@ -345,7 +454,7 @@ def _selected_scenarios(args: argparse.Namespace):
         return [get_scenario(name) for name in scenario_names()]
     unknown = [name for name in args.names if name not in scenario_names()]
     if unknown:
-        raise SystemExit(
+        raise CLIError(
             f"unknown scenario(s): {', '.join(unknown)}; registered: "
             f"{', '.join(scenario_names())}")
     return [get_scenario(name) for name in args.names]
@@ -354,6 +463,7 @@ def _selected_scenarios(args: argparse.Namespace):
 def _run_scenario_selection(args: argparse.Namespace):
     from repro.scenarios import run_scenario_suite
 
+    _require_positive(args.jobs, "--jobs")
     progress = None if args.quiet else (
         lambda line: print(line, file=sys.stderr))
     return run_scenario_suite(
@@ -444,20 +554,145 @@ def _cmd_scenario_check(args: argparse.Namespace) -> int:
 def _cmd_scenario_report(args: argparse.Namespace) -> int:
     from repro.scenarios import render_scenario_report_from_json
 
-    with open(args.results, "r", encoding="utf-8") as fh:
-        text = fh.read()
-    _write_or_print(render_scenario_report_from_json(text, args.format),
-                    args.out)
+    return _render_saved_report(args, render_scenario_report_from_json)
+
+
+def _build_perturbation_model(args: argparse.Namespace):
+    from repro.hardware.corners import CornerModel
+    from repro.robustness import (CSDDropout, ClockJitter, CoefficientDither,
+                                  InputMismatch, PerturbationModel)
+
+    _require_positive(args.variants, "--variants")
+    disabled = set(args.disable)
+    return PerturbationModel(
+        dither=None if "dither" in disabled else CoefficientDither(),
+        csd_dropout=None if "dropout" in disabled else CSDDropout(),
+        mismatch=None if "mismatch" in disabled else InputMismatch(),
+        jitter=None if "jitter" in disabled else ClockJitter(),
+        corners=None if "corners" in disabled else CornerModel(),
+        chain_variants=args.variants,
+    )
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_robustness_run,
+        "report": _cmd_robustness_report,
+        "check": _cmd_robustness_check,
+    }
+    return handlers[args.robustness_command](args)
+
+
+def _cmd_robustness_run(args: argparse.Namespace) -> int:
+    from repro.robustness import (robustness_report_json,
+                                  robustness_report_markdown,
+                                  run_robustness_suite)
+
+    _require_positive(args.jobs, "--jobs")
+    _require_positive(args.samples, "--samples")
+    _require_positive(args.stimulus_samples, "--stimulus-samples")
+    if args.seed < 0:
+        raise CLIError(f"--seed must be a non-negative integer "
+                       f"(got {args.seed})")
+    if not 0.0 < args.min_yield <= 1.0:
+        raise CLIError(f"--min-yield must lie in (0, 1] "
+                       f"(got {args.min_yield})")
+    if not args.run_all and not args.names:
+        raise CLIError("name one or more scenarios or pass --all "
+                       "(see 'scenario list')")
+    scenarios = _selected_scenarios(args)
+    if args.stimulus_samples is not None:
+        from repro.robustness import MIN_ANALYSIS_OUTPUTS
+
+        for scenario in scenarios:
+            decimation = scenario.spec.total_decimation
+            floor = MIN_ANALYSIS_OUTPUTS * decimation
+            if args.stimulus_samples < floor:
+                raise CLIError(
+                    f"--stimulus-samples {args.stimulus_samples} is too "
+                    f"short for scenario '{scenario.name}' (decimation "
+                    f"{decimation}; the SNR analysis needs at least "
+                    f"{floor})")
+    model = _build_perturbation_model(args)
+    progress = None if args.quiet else (
+        lambda line: print(line, file=sys.stderr))
+    suite = run_robustness_suite(
+        scenarios,
+        model=model,
+        n_samples=args.samples,
+        seed=args.seed,
+        stimulus_samples=args.stimulus_samples,
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+        min_pass_fraction=args.min_yield,
+        progress=progress,
+    )
+    markdown = robustness_report_markdown(suite)
+    _write_or_print(markdown, args.markdown)
+    if args.markdown:
+        print(f"Markdown report written to {args.markdown}")
+    if args.json:
+        _write_or_print(robustness_report_json(suite), args.json)
+        print(f"JSON report written to {args.json}")
+    store = suite.metadata.get("artifact_store", {})
+    print(f"\n{len(suite)} run(s) x {args.samples} samples in "
+          f"{suite.elapsed_s:.2f}s "
+          f"({suite.metadata.get('executor', 'inline')} executor, "
+          f"{suite.jobs} jobs, {suite.cache_hits} cached, "
+          f"{suite.cache_misses} executed, "
+          f"{store.get('hits', 0)} shared-stage reuses)", file=sys.stderr)
     return 0
+
+
+def _cmd_robustness_report(args: argparse.Namespace) -> int:
+    from repro.robustness import render_robustness_report_from_json
+
+    return _render_saved_report(args, render_robustness_report_from_json)
+
+
+def _cmd_robustness_check(args: argparse.Namespace) -> int:
+    from repro.robustness import (GOLDEN_RUN_SETTINGS,
+                                  check_robustness_record, run_robustness,
+                                  write_robustness_golden)
+
+    _require_positive(args.jobs, "--jobs")
+    settings = GOLDEN_RUN_SETTINGS
+    report = run_robustness(
+        settings["scenario"],
+        n_samples=settings["n_samples"],
+        seed=settings["seed"],
+        stimulus_samples=settings["stimulus_samples"],
+        jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+    )
+    if report.from_cache:
+        print("note: record served from the result cache; omit --cache-dir "
+              "for a fully fresh check", file=sys.stderr)
+    if args.write_golden:
+        path = write_robustness_golden(settings["scenario"], report.record)
+        print(f"Golden record written to {path}")
+        return 0
+    diffs = check_robustness_record(settings["scenario"], report.record)
+    if not diffs:
+        print(f"OK: pinned {settings['n_samples']}-sample Monte Carlo over "
+              f"{settings['scenario']} matches its golden record")
+        return 0
+    print(f"[DIFF] {settings['scenario']}: {len(diffs)} mismatched field(s)")
+    for diff in diffs[:20]:
+        print(f"       {diff}")
+    if len(diffs) > 20:
+        print(f"       ... and {len(diffs) - 20} more")
+    print("\nrerun with 'robustness check --write-golden' only if the "
+          "change is intended")
+    return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.explore import render_report_from_json
 
-    with open(args.results, "r", encoding="utf-8") as fh:
-        text = fh.read()
-    _write_or_print(render_report_from_json(text, args.format), args.out)
-    return 0
+    return _render_saved_report(args, render_report_from_json)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -493,14 +728,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User-input errors (:class:`CLIError`) print one ``error: ...`` line to
+    stderr and exit with code 2, matching :mod:`argparse`'s own usage
+    errors; run failures (verification FAIL, golden drift) exit 1.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "design": _cmd_design,
         "verify": _cmd_verify,
         "sweep": _cmd_sweep,
         "scenario": _cmd_scenario,
+        "robustness": _cmd_robustness,
         "report": _cmd_report,
         "cache": _cmd_cache,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -294,6 +294,45 @@ class DecimationChain:
             equalizer = design_equalizer()
         return cls(spec, options, sinc_cascade, halfband, scaling, equalizer)
 
+    def with_stages(self, halfband: Optional[SaramakiHalfband] = None,
+                    equalizer: Optional[EqualizerDesign] = None,
+                    ) -> "DecimationChain":
+        """Rebuild this chain with replacement halfband/equalizer designs.
+
+        The construction path of the :mod:`repro.robustness` Monte Carlo
+        variants: no design search runs — the replacement filters (e.g. the
+        output of :func:`repro.filters.halfband.perturbed_halfband` or
+        :meth:`repro.filters.equalizer.EqualizerDesign.with_tap_deltas`)
+        are dropped into a new chain instance, which re-derives only the
+        cheap bit-true machinery (equivalent-FIR taps, integer tap tables).
+        Stages not replaced are shared with this chain.
+        """
+        return DecimationChain(
+            self.spec, self.options, self.sinc_cascade,
+            halfband if halfband is not None else self.halfband,
+            self.scaling,
+            equalizer if equalizer is not None else self.equalizer,
+        )
+
+    def coefficient_fingerprint(self) -> dict:
+        """JSON-safe identity of every perturbable coefficient in the chain.
+
+        Aggregates the per-stage fingerprints (Hogenauer structure, halfband
+        ``f1``/``f2`` values, quantized scaling constant, quantized
+        equalizer taps).  Chains with byte-equal fingerprints produce
+        bit-identical output words for the same input codes, which is what
+        lets the robustness engine key per-variant artifacts on it.
+        """
+        return {
+            "sinc": [s.coefficient_fingerprint() for s in self._hogenauer_stages],
+            "halfband": self.halfband.coefficient_fingerprint(),
+            "halfband_coefficient_bits": int(self.options.halfband_coefficient_bits),
+            "scaling": float(self.scaling.quantized_scale),
+            "equalizer_taps": [float(t) for t in self._equalizer_impl.quantized_taps],
+            "guard_bits": int(self.options.guard_bits),
+            "output_bits": int(self.spec.decimator.output_bits),
+        }
+
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------

@@ -135,6 +135,82 @@ def verify_chain(chain, include_snr: bool = False,
     return report
 
 
+def distribution_pass_fraction(values, limit: float, comparison: str) -> float:
+    """Fraction of a metric distribution that passes a spec-mask limit.
+
+    ``values`` is a sequence of per-sample measurements (e.g. the SNR of
+    every Monte Carlo sample); the returned fraction is the *yield* of the
+    population against ``measured <comparison> limit``.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return 0.0
+    if comparison == "<=":
+        passed = data <= limit
+    elif comparison == ">=":
+        passed = data >= limit
+    else:
+        raise ValueError("comparison must be '<=' or '>='")
+    return float(np.count_nonzero(passed)) / float(data.size)
+
+
+def robust_percentile(values, comparison: str,
+                      percentile: float = 99.0) -> float:
+    """The value a metric distribution clears with ``percentile`` confidence.
+
+    For a ``">="`` mask (bigger is better, e.g. SNR) this is the value
+    exceeded by ``percentile`` % of the samples — the low tail.  For a
+    ``"<="`` mask (smaller is better, e.g. power) it is the value that
+    ``percentile`` % of samples stay below — the high tail.  Percentiles
+    use NumPy's linear interpolation, so equal populations give bit-equal
+    results regardless of executor or sharding.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot take a percentile of an empty distribution")
+    if comparison == ">=":
+        return float(np.percentile(data, 100.0 - percentile))
+    if comparison == "<=":
+        return float(np.percentile(data, percentile))
+    raise ValueError("comparison must be '<=' or '>='")
+
+
+def verify_distribution(name: str, values, limit: float, comparison: str,
+                        min_pass_fraction: float = 0.95,
+                        percentile: float = 99.0,
+                        unit: str = "dB",
+                        report: Optional[VerificationReport] = None,
+                        ) -> VerificationReport:
+    """Spec-mask pass/fail over a Monte Carlo metric distribution.
+
+    Extends the scalar checks of :func:`verify_chain` to populations: a
+    distribution passes a mask when (a) its *yield* — the fraction of
+    samples meeting ``measured <comparison> limit`` — reaches
+    ``min_pass_fraction``, and (b) its ``percentile``-confidence value
+    (:func:`robust_percentile`) itself meets the limit.  Two
+    :class:`CheckResult` rows are appended per metric, so a
+    :class:`VerificationReport` built this way renders and serializes
+    exactly like the nominal flow's report.  This is the verification layer
+    of the :mod:`repro.robustness` subsystem's :class:`YieldReport`.
+
+    ``values`` must be non-empty: the empty case is rejected before any
+    check row is appended, so a shared ``report`` is never left
+    half-mutated.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("cannot verify an empty metric distribution")
+    if report is None:
+        report = VerificationReport()
+    report.add(f"{name} yield",
+               distribution_pass_fraction(values, limit, comparison),
+               min_pass_fraction, ">=", unit="")
+    report.add(f"{name} P{percentile:g}",
+               robust_percentile(values, comparison, percentile),
+               limit, comparison, unit=unit)
+    return report
+
+
 def _verify_mask(chain, passband_fraction: float) -> VerificationReport:
     """The frequency-mask verification checks (everything except the SNR)."""
     spec = chain.spec

@@ -51,6 +51,49 @@ def coherent_tone(frequency_hz: float, amplitude: float, sample_rate_hz: float,
     return amplitude * np.sin(2.0 * np.pi * f / sample_rate_hz * n + phase)
 
 
+def jittered_tone(frequency_hz: float, amplitude: float, sample_rate_hz: float,
+                  n_samples: int, jitter_rms_s: float,
+                  rng: np.random.Generator, phase: float = 0.0) -> np.ndarray:
+    """A coherent tone sampled on a jittered clock.
+
+    Models sampling-clock jitter on the modulator stimulus: sample ``n`` is
+    taken at ``t_n = n/fs + δ_n`` with ``δ_n`` independent zero-mean Gaussian
+    aperture errors of RMS ``jitter_rms_s`` drawn from ``rng``.  This is the
+    stimulus-domain jitter axis of the :mod:`repro.robustness` Monte Carlo
+    subsystem.
+
+    Unlike :func:`coherent_tone`, the frequency is used **as given** — no
+    coherent-bin snapping.  Callers (the robustness engine, the SNR leg)
+    already hold the exact coherent frequency for their *analysis* record
+    length, which differs from the generated record length when the
+    stimulus carries group-delay settle padding; re-snapping here would
+    silently move the tone off the analysis bin.  With a frequency of the
+    form ``k·fs/n`` and ``jitter_rms_s = 0`` the output is bit-identical to
+    the reference stimulus of
+    :func:`repro.core.verification.modulator_tone_codes`.
+
+    Parameters
+    ----------
+    frequency_hz, amplitude, sample_rate_hz, n_samples, phase:
+        As in :func:`coherent_tone`, except that ``frequency_hz`` is not
+        snapped.
+    jitter_rms_s:
+        RMS of the per-sample timing error, in seconds.
+    rng:
+        Seeded :class:`numpy.random.Generator`; the caller owns the seeding
+        so Monte Carlo draws stay reproducible.
+    """
+    f = frequency_hz
+    n = np.arange(n_samples)
+    # Same phase-argument arithmetic as the SNR-leg reference stimulus
+    # (modulator_tone_codes), plus the jitter term: with jitter_rms_s == 0
+    # the two are bit-identical.
+    arg = 2.0 * np.pi * f / sample_rate_hz * n + phase
+    if jitter_rms_s > 0.0:
+        arg = arg + 2.0 * np.pi * f * jitter_rms_s * rng.standard_normal(n_samples)
+    return amplitude * np.sin(arg)
+
+
 def multitone(frequencies_hz: Sequence[float], amplitudes: Sequence[float],
               sample_rate_hz: float, n_samples: int,
               phases: Optional[Sequence[float]] = None) -> np.ndarray:

@@ -26,6 +26,7 @@ Quickstart::
 from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
 from repro.explore.pareto import (
     DEFAULT_OBJECTIVES,
+    ROBUST_OBJECTIVES,
     Objective,
     dominates,
     pareto_front,
@@ -58,6 +59,7 @@ __all__ = [
     "HALFBAND_DESIGN_MARGIN_DB",
     "Objective",
     "REPORT_SCHEMA_VERSION",
+    "ROBUST_OBJECTIVES",
     "SWEEP_AXES",
     "SweepCache",
     "SweepPoint",

@@ -34,6 +34,21 @@ DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
     Objective("gate_count"),
 )
 
+#: Robustness-aware objectives over a Monte Carlo yield-report metrics row
+#: (see :meth:`repro.robustness.YieldReport.metrics_row`): instead of the
+#: nominal SNR/power, designs are ranked by their *P99-confidence* values —
+#: ``snr_p99_db`` is the SNR exceeded by 99 % of the perturbed samples (the
+#: low tail) and ``power_p99_mw`` the power 99 % of samples stay below (the
+#: high tail) — plus the yield itself.  A design that looks great at the
+#: nominal corner but collapses under mismatch ranks behind a slightly
+#: slower-but-robust one here.
+ROBUST_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("snr_p99_db", maximize=True),
+    Objective("power_p99_mw"),
+    Objective("yield_fraction", maximize=True),
+    Objective("gate_count"),
+)
+
 
 def _values(row: Mapping, objectives: Sequence[Objective]) -> Tuple[float, ...]:
     try:

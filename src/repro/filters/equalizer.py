@@ -57,6 +57,29 @@ class EqualizerDesign:
         """CSD-encode the coefficients (the paper's implementation choice)."""
         return encode_coefficients(self.taps, coefficient_bits)
 
+    def with_tap_deltas(self, lsb_deltas: np.ndarray,
+                        coefficient_bits: int = 16) -> "EqualizerDesign":
+        """A copy of this design with taps dithered by quantization LSBs.
+
+        The coefficient-perturbation hook of the :mod:`repro.robustness`
+        Monte Carlo subsystem: tap ``k`` moves by ``lsb_deltas[k] *
+        2**-coefficient_bits``, i.e. by whole LSBs of the fixed-point
+        coefficient word, so the downstream
+        :class:`~repro.filters.fir.FIRFilterFixedPoint` quantization shifts
+        its integer tap by exactly ``lsb_deltas[k]``.  No fit runs — this
+        is a cheap value perturbation of an already designed equalizer.
+        """
+        deltas = np.asarray(lsb_deltas, dtype=float)
+        if deltas.shape != self.taps.shape:
+            raise ValueError("lsb_deltas must have one entry per tap")
+        lsb = 2.0 ** (-coefficient_bits)
+        return EqualizerDesign(
+            taps=self.taps + deltas * lsb,
+            sample_rate_hz=self.sample_rate_hz,
+            passband_hz=self.passband_hz,
+            metadata=dict(self.metadata, perturbation="lsb-dither"),
+        )
+
 
 def design_droop_equalizer(droop_response: FrequencyResponse,
                            sample_rate_hz: float,

@@ -290,6 +290,50 @@ class SaramakiHalfband:
         response = np.abs(self.zero_phase_response(freqs))
         return float(20.0 * np.log10(np.max(response) / max(np.min(response), 1e-300)))
 
+    def with_coefficients(self, f1: np.ndarray, f2: np.ndarray,
+                          coefficient_bits: Optional[int] = None,
+                          note: str = "perturbed") -> "SaramakiHalfband":
+        """Rebuild this filter with replacement coefficient values.
+
+        This is the coefficient-perturbation hook of the
+        :mod:`repro.robustness` Monte Carlo subsystem: the structure
+        (``n1``/``n2``, transition band) is kept, the coefficient values are
+        replaced (and re-encoded in CSD when ``coefficient_bits`` is given),
+        and the achieved stopband attenuation in the metadata is recomputed
+        so downstream mask checks see the perturbed filter.  No design
+        search runs — the rebuild is a cheap re-quantization.
+        """
+        if len(f1) != self.n1 or len(f2) != self.n2:
+            raise ValueError("replacement coefficients must keep the (n1, n2) "
+                             "structure of the designed filter")
+        f1 = np.asarray(f1, dtype=float)
+        f2 = np.asarray(f2, dtype=float)
+        f1_csd = f2_csd = None
+        if coefficient_bits is not None:
+            f1_csd = encode_coefficients(f1, coefficient_bits)
+            f2_csd = encode_coefficients(f2, coefficient_bits)
+            f1 = np.array([c.value for c in f1_csd])
+            f2 = np.array([c.value for c in f2_csd])
+        perturbed = SaramakiHalfband(f1=f1, f2=f2, f1_csd=f1_csd,
+                                     f2_csd=f2_csd,
+                                     metadata=dict(self.metadata))
+        transition_start = float(self.metadata.get("transition_start", 0.22))
+        perturbed.metadata["achieved_attenuation_db"] = \
+            perturbed.stopband_attenuation_db(0.5 - transition_start)
+        perturbed.metadata["perturbation"] = note
+        return perturbed
+
+    def coefficient_fingerprint(self) -> dict:
+        """JSON-safe identity of the (possibly perturbed) coefficient sets.
+
+        Used by the robustness engine to key per-variant caches: two
+        halfbands with byte-equal fingerprints produce bit-identical
+        outputs (the bit-true decimator derives everything from ``f1``,
+        ``f2`` and the coefficient word width).
+        """
+        return {"f1": [float(v) for v in self.f1],
+                "f2": [float(v) for v in self.f2]}
+
     def adder_count(self, coefficient_bits: int = 24) -> int:
         """Total adders of the tapped-cascade implementation.
 
@@ -466,6 +510,69 @@ class SaramakiHalfbandDesigner:
             "search_iterations": search_iterations,
         })
         return best
+
+
+def _drop_least_significant_digit(code: CSDCode) -> CSDCode:
+    """A copy of ``code`` with its least-significant non-zero digit dropped.
+
+    Models a fabrication/implementation fault in one CSD shift-add term.
+    Digits are stored most-significant first, so the dropped digit is the
+    last one; a zero coefficient is returned unchanged.
+    """
+    if not code.digits:
+        return code
+    digits = code.digits[:-1]
+    value = float(sum(s * (2.0 ** w) for w, s in digits))
+    return CSDCode(digits=tuple(digits), value=value, original=code.original)
+
+
+def perturbed_halfband(design: SaramakiHalfband, coefficient_bits: int,
+                       f1_lsb_deltas: Optional[Sequence[int]] = None,
+                       f2_lsb_deltas: Optional[Sequence[int]] = None,
+                       f1_dropout: Optional[Sequence[int]] = None,
+                       f2_dropout: Optional[Sequence[int]] = None) -> SaramakiHalfband:
+    """Apply Monte Carlo coefficient perturbations to a designed halfband.
+
+    Two perturbation axes of the :mod:`repro.robustness` subsystem compose
+    here, in this order:
+
+    1. **Coefficient-bit dithering** — each coefficient moves by an integer
+       number of quantization LSBs (``delta * 2**-coefficient_bits``) before
+       re-encoding in CSD, modelling word-level coefficient ROM errors.
+    2. **CSD term dropout** — coefficients flagged in ``*_dropout`` lose
+       their least-significant non-zero CSD digit after re-encoding,
+       modelling a dropped shift-add term in the multiplierless datapath.
+
+    Returns a new :class:`SaramakiHalfband` with refreshed
+    ``achieved_attenuation_db`` metadata; all-zero draws return a filter
+    with coefficient values identical to re-quantizing the original design.
+    """
+    lsb = 2.0 ** (-coefficient_bits)
+    f1 = np.asarray(design.f1, dtype=float).copy()
+    f2 = np.asarray(design.f2, dtype=float).copy()
+    if f1_lsb_deltas is not None:
+        f1 = f1 + lsb * np.asarray(f1_lsb_deltas, dtype=float)
+    if f2_lsb_deltas is not None:
+        f2 = f2 + lsb * np.asarray(f2_lsb_deltas, dtype=float)
+    perturbed = design.with_coefficients(f1, f2,
+                                         coefficient_bits=coefficient_bits)
+    dropped = 0
+    for flags, codes, values in ((f1_dropout, perturbed.f1_csd, perturbed.f1),
+                                 (f2_dropout, perturbed.f2_csd, perturbed.f2)):
+        if flags is None:
+            continue
+        for index, flag in enumerate(flags):
+            if flag:
+                codes[index] = _drop_least_significant_digit(codes[index])
+                values[index] = codes[index].value
+                dropped += 1
+    if dropped:
+        transition_start = float(
+            perturbed.metadata.get("transition_start", 0.22))
+        perturbed.metadata["achieved_attenuation_db"] = \
+            perturbed.stopband_attenuation_db(0.5 - transition_start)
+        perturbed.metadata["dropped_csd_digits"] = dropped
+    return perturbed
 
 
 def paper_halfband(transition_start: float = 0.22) -> SaramakiHalfband:

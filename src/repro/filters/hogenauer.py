@@ -172,6 +172,22 @@ class HogenauerDecimator:
         self._phase = 0
         self.trace = HogenauerTrace()
 
+    def coefficient_fingerprint(self) -> dict:
+        """JSON-safe identity of everything that determines the output words.
+
+        The Hogenauer structure is multiplierless — its "coefficients" are
+        the structural parameters (order, decimation, register width), which
+        is why the :mod:`repro.robustness` coefficient-perturbation axes
+        leave Sinc stages untouched: there is no coefficient ROM to dither
+        and no CSD term to drop.  The fingerprint still participates in the
+        robustness cache keys so a chain's perturbable state is fully
+        described by its per-stage fingerprints.
+        """
+        return {"kind": "hogenauer", "order": int(self.spec.order),
+                "decimation": int(self.spec.decimation),
+                "input_bits": int(self.spec.input_bits),
+                "register_bits": int(self.spec.register_bits)}
+
     # ------------------------------------------------------------------
     # Streaming interface
     # ------------------------------------------------------------------

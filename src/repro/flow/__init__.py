@@ -8,7 +8,12 @@ the paper presents (Table I compliance, Table II power, Figs. 8–13 data).
 """
 
 from repro.flow.artifacts import ArtifactStore
-from repro.flow.pipeline import FlowResult, run_design_flow, warm_flow_artifacts
+from repro.flow.pipeline import (
+    FlowResult,
+    json_sanitize,
+    run_design_flow,
+    warm_flow_artifacts,
+)
 from repro.flow.reports import (
     flow_report_text,
     power_table_markdown,
@@ -18,6 +23,7 @@ from repro.flow.reports import (
 __all__ = [
     "ArtifactStore",
     "FlowResult",
+    "json_sanitize",
     "run_design_flow",
     "warm_flow_artifacts",
     "flow_report_text",

@@ -87,7 +87,7 @@ class FlowResult:
         the :mod:`repro.explore` result cache need, with numpy scalars
         coerced to plain Python types so ``json.dumps`` round-trips.
         """
-        return _json_sanitize({
+        return json_sanitize({
             "spec": self.spec.to_dict(),
             "options": self.chain.options.to_dict(),
             "summary": self.summary(),
@@ -98,14 +98,21 @@ class FlowResult:
         })
 
 
-def _json_sanitize(value):
-    """Recursively coerce numpy scalars/arrays into JSON-safe Python types."""
+def json_sanitize(value):
+    """Recursively coerce numpy scalars/arrays into JSON-safe Python types.
+
+    Public utility shared by every record producer (`FlowResult.record`,
+    the scenario runner, the robustness engine): nested dicts/lists/tuples
+    are rebuilt with numpy booleans/integers/floats/arrays converted to
+    their plain Python equivalents, so ``json.dumps`` round-trips the
+    result byte-stably.
+    """
     if isinstance(value, dict):
-        return {str(k): _json_sanitize(v) for k, v in value.items()}
+        return {str(k): json_sanitize(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_json_sanitize(v) for v in value]
+        return [json_sanitize(v) for v in value]
     if isinstance(value, np.ndarray):
-        return [_json_sanitize(v) for v in value.tolist()]
+        return [json_sanitize(v) for v in value.tolist()]
     if isinstance(value, (np.bool_,)):
         return bool(value)
     if isinstance(value, np.integer):

@@ -202,3 +202,142 @@ class TestCacheCommand:
 
         wipe = run_cli("cache", "prune", "--all", "--cache-dir", str(cache))
         assert "Removed 2 cache entries" in wipe.stdout
+
+
+class TestRobustnessCLI:
+    def test_run_writes_reports_and_caches(self, tmp_path):
+        json_path = tmp_path / "robustness.json"
+        cache = tmp_path / "cache"
+        args = ("robustness", "run", "lte-20", "--samples", "4",
+                "--stimulus-samples", "2048", "--variants", "2",
+                "--seed", "5", "--quiet", "--cache-dir", str(cache),
+                "--json", str(json_path))
+        proc = run_cli(*args)
+        assert "| lte-20 |" in proc.stdout
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["num_runs"] == 1
+        record = payload["runs"][0]["record"]
+        assert len(record["samples"]) == 4
+        assert "0 cached, 1 executed" in proc.stderr
+
+        # Cached rerun reproduces the JSON report byte-identically.
+        json2 = tmp_path / "robustness2.json"
+        rerun = run_cli(*args[:-1], str(json2))
+        assert "1 cached, 0 executed" in rerun.stderr
+        assert json_path.read_bytes() == json2.read_bytes()
+
+    def test_report_rerenders_saved_json(self, tmp_path):
+        json_path = tmp_path / "robustness.json"
+        run_cli("robustness", "run", "lte-20", "--samples", "3",
+                "--stimulus-samples", "2048", "--quiet",
+                "--json", str(json_path))
+        rendered = run_cli("robustness", "report", str(json_path))
+        assert "| Scenario |" in rendered.stdout
+        as_json = run_cli("robustness", "report", str(json_path),
+                          "--format", "json")
+        assert as_json.stdout.strip() == \
+            json_path.read_text(encoding="utf-8").strip()
+
+    def test_disable_axes_flags(self, tmp_path):
+        json_path = tmp_path / "robustness.json"
+        run_cli("robustness", "run", "lte-20", "--samples", "3",
+                "--stimulus-samples", "2048", "--quiet",
+                "--disable", "dropout", "--disable", "corners",
+                "--json", str(json_path))
+        record = json.loads(
+            json_path.read_text(encoding="utf-8"))["runs"][0]["record"]
+        assert record["model"]["csd_dropout"] is None
+        assert record["model"]["corners"] is None
+        assert record["model"]["dither"] is not None
+
+    def test_check_passes_against_committed_golden(self):
+        proc = run_cli("robustness", "check")
+        assert "matches its golden record" in proc.stdout
+
+
+class TestArgumentValidation:
+    """Bad inputs exit with code 2 and a one-line error (no tracebacks)."""
+
+    @pytest.mark.parametrize("args", [
+        ("sweep", "--jobs", "0", "--output-bits", "12"),
+        ("sweep", "--workers", "0", "--output-bits", "12"),
+        ("scenario", "run", "lte-20", "--jobs", "0"),
+        ("scenario", "check", "lte-20", "--jobs", "-2"),
+        ("robustness", "run", "lte-20", "--samples", "0"),
+        ("robustness", "run", "lte-20", "--jobs", "0"),
+        ("robustness", "run", "lte-20", "--variants", "0"),
+        ("robustness", "check", "--jobs", "0"),
+    ])
+    def test_nonpositive_counts_are_clean_errors(self, args):
+        proc = run_cli(*args, check=False)
+        assert proc.returncode == 2
+        assert proc.stderr.count("\n") <= 2
+        assert "error:" in proc.stderr
+        assert "must be at least 1" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    @pytest.mark.parametrize("args, message", [
+        (("report", "missing.json"), "report file not found"),
+        (("scenario", "report", "missing.json"), "report file not found"),
+        (("robustness", "report", "missing.json"), "report file not found"),
+        (("design", "--spec-json", "missing.json"),
+         "spec JSON file not found"),
+        (("robustness", "run", "nope-20", "--samples", "2"),
+         "unknown scenario(s): nope-20"),
+        (("robustness", "run"), "name one or more scenarios"),
+    ])
+    def test_missing_inputs_are_clean_errors(self, args, message):
+        proc = run_cli(*args, check=False)
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr
+        assert message in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    @pytest.mark.parametrize("args, message", [
+        (("robustness", "run", "lte-20", "--seed", "-1"),
+         "--seed must be a non-negative integer"),
+        (("robustness", "run", "lte-20", "--min-yield", "1.5"),
+         "--min-yield must lie in (0, 1]"),
+        (("robustness", "run", "lte-20", "--min-yield", "0"),
+         "--min-yield must lie in (0, 1]"),
+    ])
+    def test_robustness_run_parameter_ranges(self, args, message):
+        proc = run_cli(*args, check=False)
+        assert proc.returncode == 2
+        assert message in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_unknown_executor_is_an_argparse_error(self):
+        proc = run_cli("sweep", "--executor", "bogus", "--output-bits", "12",
+                       check=False)
+        assert proc.returncode == 2
+        assert "invalid choice: 'bogus'" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_too_short_stimulus_is_a_clean_error(self):
+        proc = run_cli("robustness", "run", "lte-20", "--samples", "2",
+                       "--stimulus-samples", "64", check=False)
+        assert proc.returncode == 2
+        assert "--stimulus-samples 64 is too short" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    @pytest.mark.parametrize("content, message", [
+        ('{"schema": 99}', "invalid report file"),
+        ("not json at all", "invalid report file"),
+    ])
+    def test_corrupt_report_files_are_clean_errors(self, tmp_path, content,
+                                                   message):
+        bad = tmp_path / "bad.json"
+        bad.write_text(content, encoding="utf-8")
+        for command in (("report",), ("scenario", "report"),
+                        ("robustness", "report")):
+            proc = run_cli(*command, str(bad), check=False)
+            assert proc.returncode == 2
+            assert message in proc.stderr
+            assert "Traceback" not in proc.stderr
+
+    def test_scenario_check_invalid_executor_is_an_argparse_error(self):
+        proc = run_cli("scenario", "check", "lte-20", "--jobs", "1",
+                       "--executor", "bogus", check=False)
+        assert proc.returncode == 2
+        assert "invalid choice: 'bogus'" in proc.stderr

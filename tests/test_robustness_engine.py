@@ -1,0 +1,219 @@
+"""Tests for the Monte Carlo robustness engine (batching, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chain import DecimationChain
+from repro.core.spec import canonical_json
+from repro.dsm.modulator import FastErrorFeedbackSimulator
+from repro.robustness import (PerturbationModel, default_model,
+                              robustness_report_json, run_robustness,
+                              run_robustness_suite)
+from repro.robustness.model import CoefficientDither, InputMismatch
+
+SMALL_RUN = dict(n_samples=6, seed=13, stimulus_samples=2048)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_robustness("lte-20", **SMALL_RUN)
+
+
+class TestRecordLayout:
+    def test_top_level_keys(self, small_report):
+        record = small_report.record
+        for key in ("schema", "scenario", "spec", "options", "model", "run",
+                    "nominal", "variants", "samples", "distributions",
+                    "yield", "worst_case"):
+            assert key in record
+        assert record["scenario"] == "lte-20"
+        assert len(record["samples"]) == SMALL_RUN["n_samples"]
+
+    def test_samples_are_ordered_and_complete(self, small_report):
+        samples = small_report.record["samples"]
+        assert [s["index"] for s in samples] == list(range(len(samples)))
+        for sample in samples:
+            for key in ("variant", "snr_db", "power_mw", "area_mm2",
+                        "stable", "passed"):
+                assert key in sample
+
+    def test_distribution_stats_are_consistent(self, small_report):
+        record = small_report.record
+        snrs = [s["snr_db"] for s in record["samples"]]
+        stats = record["distributions"]["snr_db"]
+        assert stats["min"] == pytest.approx(min(snrs))
+        assert stats["max"] == pytest.approx(max(snrs))
+        assert stats["mean"] == pytest.approx(float(np.mean(snrs)))
+        assert stats["p50"] == pytest.approx(float(np.percentile(snrs, 50)))
+
+    def test_yield_and_worst_case_are_consistent(self, small_report):
+        record = small_report.record
+        samples = record["samples"]
+        expected_rate = sum(1 for s in samples if s["passed"]) / len(samples)
+        assert record["yield"]["pass_rate"] == pytest.approx(expected_rate)
+        worst = record["worst_case"]
+        assert worst["snr_db"] == pytest.approx(
+            min(s["snr_db"] for s in samples))
+        assert worst["draw"]["index"] == worst["index"]
+
+    def test_variants_carry_mask_verdicts(self, small_report):
+        variants = small_report.record["variants"]
+        assert len(variants) >= 1
+        for entry in variants:
+            assert isinstance(entry["mask_passed"], bool)
+            assert entry["halfband_attenuation_db"] > 0
+            assert len(entry["fingerprint"]) == 64
+
+    def test_record_is_json_round_trippable(self, small_report):
+        import json
+
+        text = canonical_json(small_report.record)
+        assert json.loads(text) == json.loads(
+            canonical_json(small_report.record))
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_bytes(self):
+        a = run_robustness("lte-20", **SMALL_RUN)
+        b = run_robustness("lte-20", **SMALL_RUN)
+        assert canonical_json(a.record) == canonical_json(b.record)
+
+    def test_different_seed_differs(self, small_report):
+        other = run_robustness("lte-20", n_samples=6, seed=14,
+                               stimulus_samples=2048)
+        assert canonical_json(other.record) != \
+            canonical_json(small_report.record)
+
+    def test_disabled_axes_leave_nominal_untouched(self):
+        report = run_robustness("lte-20", model=PerturbationModel(),
+                                n_samples=3, seed=1, stimulus_samples=2048)
+        nominal = report.record["nominal"]["snr_db"]
+        for sample in report.record["samples"]:
+            assert sample["snr_db"] == pytest.approx(nominal)
+            assert sample["power_mw"] == pytest.approx(
+                report.record["nominal"]["power_mw"])
+
+
+class TestBatchedHotPath:
+    def test_256_sample_lte20_is_batched_and_cache_stable(self, tmp_path,
+                                                          monkeypatch):
+        """The acceptance run: 256 samples over lte-20, no per-sample loop.
+
+        Counts engine calls while the Monte Carlo executes inline: the
+        population must go through ``simulate_batch`` (one call per shard
+        population — exactly one for ``jobs=1``) and batched 2-D
+        ``process_fixed`` (one call per chain variant), with per-record
+        simulation reserved for the single nominal reference.  The run must
+        then reproduce byte-identically from the warm on-disk cache.
+        """
+        calls = {"simulate": 0, "simulate_batch": 0, "fixed_1d": 0,
+                 "fixed_2d": 0}
+        real_simulate = FastErrorFeedbackSimulator.simulate
+        real_batch = FastErrorFeedbackSimulator.simulate_batch
+        real_fixed = DecimationChain.process_fixed
+
+        def counting_simulate(self, u):
+            calls["simulate"] += 1
+            return real_simulate(self, u)
+
+        def counting_batch(self, u):
+            calls["simulate_batch"] += 1
+            return real_batch(self, u)
+
+        def counting_fixed(self, codes, *args, **kwargs):
+            key = "fixed_2d" if np.asarray(codes).ndim == 2 else "fixed_1d"
+            calls[key] += 1
+            return real_fixed(self, codes, *args, **kwargs)
+
+        monkeypatch.setattr(FastErrorFeedbackSimulator, "simulate",
+                            counting_simulate)
+        monkeypatch.setattr(FastErrorFeedbackSimulator, "simulate_batch",
+                            counting_batch)
+        monkeypatch.setattr(DecimationChain, "process_fixed", counting_fixed)
+
+        model = default_model()
+        cold = run_robustness("lte-20", model=model, n_samples=256, seed=2011,
+                              stimulus_samples=2048, jobs=1,
+                              executor="inline", cache_dir=tmp_path)
+        assert calls["simulate_batch"] == 1          # one population, one call
+        assert calls["simulate"] <= 1                # the nominal reference
+        assert calls["fixed_2d"] == model.chain_variants  # one per variant
+        assert calls["fixed_1d"] <= 1                # the nominal SNR leg
+        assert cold.from_cache is False
+        assert len(cold.record["samples"]) == 256
+
+        warm = run_robustness("lte-20", model=model, n_samples=256, seed=2011,
+                              stimulus_samples=2048, jobs=1,
+                              executor="inline", cache_dir=tmp_path)
+        assert warm.from_cache is True
+        assert canonical_json(warm.record) == canonical_json(cold.record)
+
+    def test_256_sample_records_are_identical_across_executors(self):
+        runs = {}
+        for executor, jobs in (("inline", 1), ("thread", 4), ("process", 4)):
+            report = run_robustness("lte-20", n_samples=256, seed=2011,
+                                    stimulus_samples=2048, jobs=jobs,
+                                    executor=executor)
+            runs[executor] = canonical_json(report.record)
+        assert runs["inline"] == runs["thread"]
+        assert runs["inline"] == runs["process"]
+
+    def test_sharding_does_not_change_the_rows(self):
+        one = run_robustness("lte-20", n_samples=9, seed=3,
+                             stimulus_samples=2048, jobs=1)
+        many = run_robustness("lte-20", n_samples=9, seed=3,
+                              stimulus_samples=2048, jobs=5,
+                              executor="thread")
+        assert canonical_json(one.record) == canonical_json(many.record)
+
+
+class TestSuite:
+    def test_suite_report_json_is_cache_stable(self, tmp_path):
+        kwargs = dict(n_samples=4, seed=2, stimulus_samples=2048,
+                      cache_dir=tmp_path)
+        cold = run_robustness_suite(["lte-20"], **kwargs)
+        warm = run_robustness_suite(["lte-20"], **kwargs)
+        assert robustness_report_json(cold) == robustness_report_json(warm)
+        assert cold.cache_misses == 1
+        assert warm.cache_hits == 1
+        assert warm.reports[0].from_cache is True
+
+    def test_too_short_stimulus_is_rejected_before_any_work(self):
+        with pytest.raises(ValueError, match="fewer than"):
+            run_robustness("lte-20", n_samples=2, seed=1,
+                           stimulus_samples=128)
+
+    def test_progress_lines(self):
+        lines = []
+        run_robustness_suite(["lte-20"], n_samples=3, seed=1,
+                             stimulus_samples=2048, progress=lines.append)
+        assert len(lines) == 1
+        assert "lte-20" in lines[0]
+        assert "yield" in lines[0]
+
+    def test_mismatch_only_model_varies_metrics(self):
+        report = run_robustness(
+            "lte-20",
+            model=PerturbationModel(mismatch=InputMismatch(gain_sigma=0.01)),
+            n_samples=4, seed=6, stimulus_samples=2048)
+        snrs = {round(s["snr_db"], 6) for s in report.record["samples"]}
+        assert len(snrs) > 1  # per-sample stimuli genuinely differ
+        powers = {s["power_mw"] for s in report.record["samples"]}
+        assert len(powers) == 1  # corners disabled -> nominal power
+
+    def test_dither_only_model_keeps_power_nominal_but_moves_snr(self):
+        report = run_robustness(
+            "lte-20",
+            model=PerturbationModel(dither=CoefficientDither(
+                halfband_max_lsbs=200, equalizer_max_lsbs=8,
+                probability=1.0), chain_variants=3),
+            n_samples=6, seed=8, stimulus_samples=2048)
+        by_variant = {}
+        for sample in report.record["samples"]:
+            by_variant.setdefault(sample["variant"], set()).add(
+                round(sample["snr_db"], 6))
+        # Samples of one variant share the chain, so with mismatch/jitter
+        # disabled they share the stimulus and the SNR exactly.
+        for values in by_variant.values():
+            assert len(values) == 1
+        assert len(report.record["variants"]) == 3

@@ -37,6 +37,16 @@ FLOORS = {
         ("65536-sample SNR simulation finishes within 60 s",
          lambda r: r["elapsed_s"] <= 60.0),
     ],
+    "robustness_yield": [
+        ("batched hot path is bit-exact to the per-sample loop",
+         lambda r: r["snr_match"] is True),
+        ("batched Monte Carlo beats the per-sample loop by at least 2x",
+         lambda r: r["speedup"] >= 2.0),
+        ("256-sample batched population finishes within 30 s",
+         lambda r: r["batched_s"] <= 30.0),
+        ("perturbed SNR population stays physical (40-100 dB)",
+         lambda r: 40.0 <= r["snr_min_db"] <= r["snr_max_db"] <= 100.0),
+    ],
 }
 
 
