@@ -6,7 +6,12 @@ Every workload in ``examples/`` is reproducible from the shell:
 * ``verify`` — design + print the Table I compliance table; exit 1 on FAIL.
 * ``sweep``  — expand a design-space grid, run it on the staged, memoized
   sweep engine (``--jobs``/``--executor`` select the concurrency backend)
-  with the on-disk cache, and print/write the Pareto-ranked report.
+  over the shared content-addressed store, and print/write the
+  Pareto-ranked report.  ``--shard i/N`` deterministically runs one slice
+  of the grid (independent hosts can split a grid against one shared
+  ``--cache-dir``) and ``sweep merge`` combines the shard fragments into
+  a report byte-identical to the unsharded run; ``--no-resume`` forces
+  recomputation of already-published points.
 * ``scenario`` — the multi-standard scenario suite: ``list`` the registry,
   ``run`` named scenarios (or ``--all``) on the same memoized engine,
   ``report`` a saved run, and ``check`` fresh runs against the committed
@@ -16,7 +21,9 @@ Every workload in ``examples/`` is reproducible from the shell:
   engines), ``report`` a saved run, and ``check`` the pinned small run
   against its committed golden record (exit 1 on drift).
 * ``report`` — re-render a saved sweep JSON report without re-running.
-* ``cache``  — ``stats`` / ``prune`` for the on-disk sweep result cache.
+* ``cache``  — ``stats`` / ``prune`` for the on-disk result store
+  (entry/staleness counts include orphaned writer temp files; see
+  ``docs/CACHING.md`` for the store layout and contract).
 
 Argument errors (bad ``--jobs``, unknown scenarios, missing report files)
 print a one-line ``error: ...`` message and exit with code 2; only
@@ -134,7 +141,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_flow_arguments(verify)
 
     sweep = sub.add_parser(
-        "sweep", help="run a design-space sweep with parallel workers and caching")
+        "sweep", help="run a design-space sweep with parallel workers and "
+                      "caching ('sweep merge' combines shard reports)")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=False,
+                                     metavar="{merge}")
+    sweep_merge = sweep_sub.add_parser(
+        "merge", help="combine 'sweep --shard i/N --json' fragments into "
+                      "the full report (byte-identical to an unsharded run)")
+    sweep_merge.add_argument("shards", nargs="+", metavar="SHARD.json",
+                             help="shard fragment files written by "
+                                  "'sweep --shard i/N --json'")
+    sweep_merge.add_argument("--json", metavar="FILE",
+                             help="write the merged canonical JSON report "
+                                  "to FILE (default: stdout)")
+    sweep_merge.add_argument("--markdown", metavar="FILE",
+                             help="also write the merged markdown report "
+                                  "to FILE")
     _add_spec_arguments(sweep)
     sweep.add_argument("--osr", type=int, nargs="+", default=[],
                        help="oversampling-ratio axis (powers of two)")
@@ -166,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})")
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache")
+    sweep.add_argument("--no-resume", action="store_true",
+                       help="recompute every point even when the store "
+                            "already holds it (entries are overwritten)")
+    sweep.add_argument("--shard", default=None, metavar="i/N",
+                       help="run only shard i of N (1-based, deterministic "
+                            "partition of the grid); requires --json and "
+                            "writes a fragment for 'sweep merge'")
     sweep.add_argument("--snr", action="store_true",
                        help="simulate the end-to-end SNR per point (slower)")
     sweep.add_argument("--snr-samples", type=int, default=16384,
@@ -277,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also remove valid entries older than DAYS")
     prune.add_argument("--all", action="store_true",
                        help="remove every entry")
+    prune.add_argument("--tmp-grace-s", type=float, default=None,
+                       metavar="SECONDS",
+                       help="reclaim orphaned *.tmp files older than this "
+                            "many seconds (default: 3600; 0 reclaims all)")
     for sub_parser in (stats, prune):
         sub_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                                 help="cache directory "
@@ -394,16 +427,59 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if result.meets_spec else 1
 
 
+def _parse_shard(text: Optional[str]):
+    """Parse a ``--shard i/N`` value into a 1-based ``(i, n)`` tuple."""
+    if text is None:
+        return None
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise CLIError(f"invalid --shard {text!r}: expected i/N like 1/4")
+    if count < 1 or not 1 <= index <= count:
+        raise CLIError(f"invalid --shard {text!r}: need 1 <= i <= N")
+    return index, count
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    from repro.explore import merge_shard_reports, render_report_from_json
+
+    texts = []
+    for path in args.shards:
+        _require_file(path, "shard report file")
+        with open(path, "r", encoding="utf-8") as fh:
+            texts.append(fh.read())
+    try:
+        merged = merge_shard_reports(texts)
+    except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise CLIError(f"cannot merge shard reports: {exc}")
+    _write_or_print(merged, args.json)
+    if args.json:
+        print(f"Merged JSON report written to {args.json}")
+    if args.markdown:
+        _write_or_print(render_report_from_json(merged, "markdown"),
+                        args.markdown)
+        print(f"Merged markdown report written to {args.markdown}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.explore import (
         SweepSpec,
         run_sweep,
         sweep_report_json,
         sweep_report_markdown,
+        sweep_shard_json,
     )
 
+    if getattr(args, "sweep_command", None) == "merge":
+        return _cmd_sweep_merge(args)
     _require_positive(args.workers, "--workers")
     _require_positive(args.jobs, "--jobs")
+    shard = _parse_shard(args.shard)
+    if shard is not None and not args.json:
+        raise CLIError("--shard needs --json FILE: the shard fragment is "
+                       "consumed by 'sweep merge', not rendered directly")
     splits: List[object] = []
     for entry in args.sinc_orders:
         splits.append("auto" if entry == "auto" else _parse_split(entry))
@@ -430,14 +506,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=progress,
         jobs=args.jobs,
         executor=args.executor,
+        resume=not args.no_resume,
+        shard=shard,
     )
-    markdown = sweep_report_markdown(result)
-    _write_or_print(markdown, args.markdown)
-    if args.markdown:
-        print(f"Markdown report written to {args.markdown}")
-    if args.json:
-        _write_or_print(sweep_report_json(result), args.json)
-        print(f"JSON report written to {args.json}")
+    if shard is not None:
+        # A shard writes a fragment only; ranking is a whole-grid property
+        # and happens in 'sweep merge'.
+        _write_or_print(sweep_shard_json(result), args.json)
+        print(f"Shard {shard[0]}/{shard[1]} fragment written to {args.json}")
+    else:
+        markdown = sweep_report_markdown(result)
+        _write_or_print(markdown, args.markdown)
+        if args.markdown:
+            print(f"Markdown report written to {args.markdown}")
+        if args.json:
+            _write_or_print(sweep_report_json(result), args.json)
+            print(f"JSON report written to {args.json}")
     store = result.metadata.get("artifact_store", {})
     print(f"\n{len(result)} points in {result.elapsed_s:.2f}s "
           f"({result.metadata.get('executor', 'inline')} executor, "
@@ -698,7 +782,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     import os
 
-    from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
+    from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
 
     if not os.path.isdir(args.cache_dir):
         # Inspection must not create the directory as a side effect.
@@ -708,10 +792,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print("Entries         : 0")
             print("Total bytes     : 0")
             print("Stale entries   : 0")
+            print("Orphaned tmp    : 0")
         else:
             print(f"Removed 0 cache entries from {args.cache_dir}")
         return 0
-    cache = SweepCache(args.cache_dir)
+    cache = ArtifactCAS(args.cache_dir)
     if args.cache_command == "stats":
         stats = cache.stats()
         print(f"Cache directory : {stats['directory']}")
@@ -719,10 +804,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"Entries         : {stats['entries']}")
         print(f"Total bytes     : {stats['total_bytes']}")
         print(f"Stale entries   : {stats['stale_entries']}")
+        print(f"Orphaned tmp    : {stats['tmp_files']} "
+              f"({stats['tmp_bytes']} bytes)")
         return 0
     older = (args.older_than_days * 86400.0
              if args.older_than_days is not None else None)
-    removed = cache.prune(older_than_s=older, everything=args.all)
+    from repro.explore.store import TMP_GRACE_S
+
+    grace = args.tmp_grace_s if args.tmp_grace_s is not None else TMP_GRACE_S
+    if grace < 0:
+        raise CLIError(f"--tmp-grace-s must be non-negative (got {grace})")
+    removed = cache.prune(older_than_s=older, everything=args.all,
+                          tmp_grace_s=grace)
     print(f"Removed {removed} cache entries from {cache.directory}")
     return 0
 

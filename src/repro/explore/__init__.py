@@ -7,8 +7,10 @@ call; this package turns that into a batch explorer:
   bandwidth, Sinc splits, word widths, halfband attenuation) expanded into
   deterministic :class:`~repro.explore.sweep.SweepPoint` lists.
 * :func:`~repro.explore.runner.run_sweep` — parallel batch execution via
-  ``concurrent.futures`` with a content-addressed on-disk cache
-  (:class:`~repro.explore.cache.SweepCache`).
+  ``concurrent.futures`` over the content-addressed on-disk store
+  (:class:`~repro.explore.store.ArtifactCAS`; ``SweepCache`` is the
+  compatibility name), with grid resume (``resume=``) and deterministic
+  cross-host sharding (``shard=(i, n)`` + ``merge_shard_reports``).
 * :mod:`~repro.explore.pareto` — Pareto-front computation and ranking over
   (SNR, power, area, gate count).
 * :mod:`~repro.explore.report` — Pareto-ranked markdown and canonical JSON
@@ -24,6 +26,13 @@ Quickstart::
 """
 
 from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
+from repro.explore.store import (
+    MAX_VALIDATE_BYTES,
+    SHARD_PREFIX_LEN,
+    TMP_GRACE_S,
+    ArtifactCAS,
+    LocalDirBackend,
+)
 from repro.explore.pareto import (
     DEFAULT_OBJECTIVES,
     ROBUST_OBJECTIVES,
@@ -34,15 +43,19 @@ from repro.explore.pareto import (
 )
 from repro.explore.report import (
     REPORT_SCHEMA_VERSION,
+    SHARD_REPORT_SCHEMA,
+    merge_shard_reports,
     render_report_from_json,
     sweep_report_json,
     sweep_report_markdown,
+    sweep_shard_json,
     sweep_table_markdown,
 )
 from repro.explore.runner import (
     SweepPointResult,
     SweepResult,
     run_sweep,
+    shard_points,
 )
 from repro.explore.sweep import (
     AUTO_SINC_ORDERS,
@@ -54,24 +67,33 @@ from repro.explore.sweep import (
 
 __all__ = [
     "AUTO_SINC_ORDERS",
+    "ArtifactCAS",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_OBJECTIVES",
     "HALFBAND_DESIGN_MARGIN_DB",
+    "LocalDirBackend",
+    "MAX_VALIDATE_BYTES",
     "Objective",
     "REPORT_SCHEMA_VERSION",
     "ROBUST_OBJECTIVES",
+    "SHARD_PREFIX_LEN",
+    "SHARD_REPORT_SCHEMA",
     "SWEEP_AXES",
     "SweepCache",
+    "TMP_GRACE_S",
     "SweepPoint",
     "SweepPointResult",
     "SweepResult",
     "SweepSpec",
     "dominates",
+    "merge_shard_reports",
     "pareto_front",
     "pareto_rank",
     "render_report_from_json",
     "run_sweep",
+    "shard_points",
     "sweep_report_json",
     "sweep_report_markdown",
+    "sweep_shard_json",
     "sweep_table_markdown",
 ]

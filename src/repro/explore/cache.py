@@ -1,144 +1,25 @@
-"""On-disk result cache for design-space sweeps.
+"""Compatibility shim: the historical ``SweepCache`` API over the CAS.
 
-Each cache entry is one JSON file named after the content hash of the sweep
-point that produced it (derived spec + design options + flow settings — see
-:meth:`repro.explore.sweep.SweepPoint.cache_key`), so a repeated sweep over
-the same grid reloads every point without re-running the flow, and any
-change to a point's inputs naturally misses.
+The on-disk result store grew into the content-addressed, shard-laid-out,
+concurrent-writer-safe :class:`~repro.explore.store.ArtifactCAS` (see
+:mod:`repro.explore.store` and ``docs/CACHING.md``).  ``SweepCache`` keeps
+the pre-CAS name and constructor working for existing callers; it *is* an
+``ArtifactCAS`` — same layout, same contract, same counters — so a
+directory written through either class is readable through both, and flat
+pre-shard cache directories are migrated transparently on first hit.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import time
-from pathlib import Path
-from typing import Optional, Union
+from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
 
-#: Bump when the record layout (or the numerics that produce it) changes so
-#: stale entries miss instead of deserializing into the wrong shape.
-#: Version 2: the halfband zero-phase response switched to a multiplication
-#: recurrence (last-ulp different from the old ``pow`` evaluation), which
-#: can steer the CSD refinement to different coefficients.
-CACHE_SCHEMA_VERSION = 2
+__all__ = ["CACHE_SCHEMA_VERSION", "SweepCache"]
 
 
-class SweepCache:
+class SweepCache(ArtifactCAS):
     """Content-addressed JSON store for sweep point records.
 
-    Parameters
-    ----------
-    directory:
-        Cache directory; created (with parents) on first use.
+    Historical name of :class:`~repro.explore.store.ArtifactCAS`, kept as
+    a subclass so ``isinstance`` checks and the original constructor
+    signature (a single ``directory`` argument) continue to work.
     """
-
-    def __init__(self, directory: Union[str, Path]) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-
-    def path_for(self, key: str) -> Path:
-        """Path of the entry for ``key`` (whether or not it exists)."""
-        return self.directory / f"{key}.json"
-
-    def get(self, key: str) -> Optional[dict]:
-        """Load a cached record, or ``None`` on a miss.
-
-        Corrupt or schema-mismatched entries count as misses (and will be
-        overwritten by the next :meth:`put`).
-        """
-        path = self.path_for(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry["record"]
-
-    def put(self, key: str, record: dict) -> None:
-        """Store a record atomically (write-to-temp + rename)."""
-        path = self.path_for(key)
-        tmp = path.with_suffix(".tmp")
-        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(entry, fh, sort_keys=True)
-        os.replace(tmp, path)
-
-    def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
-        removed = 0
-        for path in self.directory.glob("*.json"):
-            path.unlink()
-            removed += 1
-        return removed
-
-    def stats(self) -> dict:
-        """Summary of the on-disk cache: entry/byte counts and staleness.
-
-        ``stale_entries`` counts files that are corrupt or carry a schema
-        version other than :data:`CACHE_SCHEMA_VERSION` (these always miss
-        and are reclaimable with :meth:`prune`).
-        """
-        entries = 0
-        total_bytes = 0
-        stale = 0
-        oldest: Optional[float] = None
-        newest: Optional[float] = None
-        for path in self.directory.glob("*.json"):
-            entries += 1
-            stat = path.stat()
-            total_bytes += stat.st_size
-            oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
-            newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
-            if self._is_stale(path):
-                stale += 1
-        return {
-            "directory": str(self.directory),
-            "schema": CACHE_SCHEMA_VERSION,
-            "entries": entries,
-            "total_bytes": total_bytes,
-            "stale_entries": stale,
-            "oldest_mtime": oldest,
-            "newest_mtime": newest,
-        }
-
-    def prune(self, older_than_s: Optional[float] = None,
-              everything: bool = False) -> int:
-        """Remove reclaimable entries; returns the number deleted.
-
-        Always removes corrupt and schema-mismatched files (they can never
-        hit).  ``older_than_s`` additionally removes valid entries whose
-        file is older than that many seconds; ``everything=True`` empties
-        the cache (same as :meth:`clear`).
-        """
-        if everything:
-            return self.clear()
-        now = time.time()
-        removed = 0
-        for path in self.directory.glob("*.json"):
-            stale = self._is_stale(path)
-            expired = (older_than_s is not None
-                       and now - path.stat().st_mtime > older_than_s)
-            if stale or expired:
-                path.unlink()
-                removed += 1
-        return removed
-
-    def _is_stale(self, path: Path) -> bool:
-        """Whether a cache file is corrupt or schema-mismatched."""
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            return True
-        return (not isinstance(entry, dict)
-                or entry.get("schema") != CACHE_SCHEMA_VERSION)
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,11 +1,16 @@
 """Staged, memoized, batch execution of design-space sweeps.
 
-:func:`run_sweep` expands a :class:`~repro.explore.sweep.SweepSpec`, checks
-each point against the on-disk :class:`~repro.explore.cache.SweepCache`,
-runs the misses through the staged :func:`repro.flow.run_design_flow`, and
-assembles everything into a :class:`SweepResult` that the Pareto ranking
-and the report renderers consume.  Records are plain JSON-serializable
-dictionaries, so a cached re-run reproduces bit-identical reports.
+:func:`run_sweep` expands a :class:`~repro.explore.sweep.SweepSpec`, diffs
+the grid against the on-disk content-addressed store
+(:class:`~repro.explore.store.ArtifactCAS`), runs the missing points
+through the staged :func:`repro.flow.run_design_flow`, and assembles
+everything into a :class:`SweepResult` that the Pareto ranking and the
+report renderers consume.  Records are plain JSON-serializable
+dictionaries, so a cached re-run reproduces bit-identical reports; because
+the store tolerates concurrent writers, independent hosts can resume or
+shard one grid against a shared directory (``shard=(i, n)`` selects a
+deterministic slice — see :func:`shard_points` — and
+``repro sweep merge`` reassembles the full byte-identical report).
 
 Two layers make the cold path fast:
 
@@ -31,9 +36,9 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
+from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
 from repro.explore.pareto import DEFAULT_OBJECTIVES, Objective, pareto_rank
 from repro.explore.sweep import SweepPoint, SweepSpec
 from repro.flow.artifacts import ArtifactStore
@@ -310,6 +315,25 @@ class SweepResult:
         return [self.points[i] for i in order]
 
 
+def shard_points(points: Sequence[SweepPoint],
+                 shard: Optional[Tuple[int, int]]) -> List[SweepPoint]:
+    """Deterministic slice of an expanded grid for shard ``(i, n)``.
+
+    Shard ``i`` of ``n`` (1-based) owns every point whose expansion index
+    is congruent to ``i - 1`` modulo ``n`` — a pure function of the grid,
+    so independent hosts partition identically without coordination, the
+    shards are disjoint, and their union is the full grid (pinned by the
+    property-based tests).  ``None`` returns the whole grid.
+    """
+    if shard is None:
+        return list(points)
+    index, count = int(shard[0]), int(shard[1])
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"invalid shard {shard!r}: expected (i, n) with "
+                         f"1 <= i <= n")
+    return [p for p in points if p.index % count == index - 1]
+
+
 def run_sweep(sweep: SweepSpec,
               workers: int = 1,
               cache_dir: Optional[Union[str, Path]] = None,
@@ -321,7 +345,9 @@ def run_sweep(sweep: SweepSpec,
               progress: Optional[Callable[[str], None]] = None,
               jobs: Optional[int] = None,
               executor: str = "auto",
-              chunk_size: Optional[int] = None) -> SweepResult:
+              chunk_size: Optional[int] = None,
+              resume: bool = True,
+              shard: Optional[Tuple[int, int]] = None) -> SweepResult:
     """Execute every point of a design-space sweep, in parallel, with caching.
 
     Parameters
@@ -363,6 +389,19 @@ def run_sweep(sweep: SweepSpec,
     chunk_size:
         Points per task submitted to the process pool (default: enough for
         ~4 chunks per worker).  Ignored by the other executors.
+    resume:
+        With a cache directory, diff the grid against the store
+        (:meth:`~repro.explore.store.ArtifactCAS.diff`) and execute only
+        the missing points — the default, and what lets an interrupted or
+        partially-shared grid continue where it (or another host) left
+        off.  ``resume=False`` recomputes every point, overwriting any
+        published entries.
+    shard:
+        ``(i, n)`` runs only shard ``i`` of ``n`` (1-based; see
+        :func:`shard_points`).  The result then covers the shard's points
+        only — render it with ``sweep_shard_json`` and combine shards
+        with ``merge_shard_reports`` / ``repro sweep merge`` for the full
+        byte-identical report.
 
     Returns
     -------
@@ -386,18 +425,28 @@ def run_sweep(sweep: SweepSpec,
         "library": str(library),
         "cache_schema": CACHE_SCHEMA_VERSION,
     }
-    points = sweep.expand()
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    all_points = sweep.expand()
+    points = shard_points(all_points, shard)
+    cache = ArtifactCAS(cache_dir) if cache_dir is not None else None
 
     started = time.perf_counter()
     records: Dict[int, dict] = {}
     from_cache: Dict[int, bool] = {}
     keys: Dict[int, str] = {}
+    for point in points:
+        keys[point.index] = point.cache_key(flow_settings)
+    # Index-free grid diff: probe the store for published entries instead
+    # of listing it; corrupt/truncated survivors of the probe still fail
+    # validation in get() below and heal by re-running (miss-and-heal).
+    if cache is not None and resume:
+        missing = set(cache.diff([keys[p.index] for p in points]))
+    else:
+        missing = {keys[p.index] for p in points}
     pending: List[SweepPoint] = []
     for point in points:
-        key = point.cache_key(flow_settings)
-        keys[point.index] = key
-        cached = cache.get(key) if cache is not None else None
+        cached = (cache.get(keys[point.index])
+                  if cache is not None and keys[point.index] not in missing
+                  else None)
         if cached is not None:
             records[point.index] = cached
             from_cache[point.index] = True
@@ -450,6 +499,9 @@ def run_sweep(sweep: SweepSpec,
         cache_misses=len(pending),
         workers=n_jobs,
         metadata={"num_points": len(points), "axes": _axes_json(sweep),
+                  "num_points_total": len(all_points),
+                  "shard": ({"index": int(shard[0]), "count": int(shard[1])}
+                            if shard is not None else None),
                   "executor": mode, "artifact_store": store.stats()},
     )
 

@@ -1,0 +1,445 @@
+"""Content-addressed artifact store shared by every sweep-shaped workload.
+
+:class:`ArtifactCAS` is the on-disk record store behind the sweep engine,
+the scenario suite and the robustness Monte Carlo runs.  Records are keyed
+by the SHA-256 content hash of everything that could change them (see
+:meth:`repro.explore.sweep.SweepPoint.cache_key`), so the store is
+*content-addressed*: a key fully determines its record bytes, and any two
+writers of the same key write identical content by construction.
+
+Layout and concurrency contract
+-------------------------------
+* **Two-level sharded layout** — entry ``<key>`` lives at
+  ``<root>/<key[:2]>/<key[2:]>.json`` (256 shard directories), so even
+  million-entry stores keep every directory small enough to list cheaply.
+  Flat pre-shard layouts (``<root>/<key>.json``) remain readable and are
+  transparently migrated into the sharded layout on first hit.
+* **Concurrent-writer safety** — :meth:`put` writes to a per-writer unique
+  temp name (pid + per-process counter) in the entry's shard directory and
+  publishes with one atomic ``os.replace``.  Readers never lock: a reader
+  sees either no entry or a complete entry, never a torn one.  Racing
+  writers of one key are last-writer-wins with identical bytes, so the
+  race is unobservable.
+* **Crash consistency** — a writer killed between temp-write and rename
+  leaves only an orphaned ``*.tmp`` file; the published entry (if any) is
+  untouched.  Orphans are visible in :meth:`stats` and reclaimed by
+  :meth:`prune` once older than its temp grace window.
+* **Miss-and-heal** — corrupt, truncated or schema-mismatched entries
+  count as misses; the next :meth:`put` of the key overwrites them.
+
+The backend is pluggable: :class:`LocalDirBackend` implements the five
+filesystem primitives for a local directory, and because it only relies on
+POSIX atomic rename within one directory, pointing it at any shared
+filesystem mount (NFS, Lustre, a fuse-mounted bucket) shares one store
+across machines through the same API.  ``diff`` is index-free — it probes
+keys instead of listing directories — which is what lets
+:func:`repro.explore.runner.run_sweep` resume a partially-computed grid
+and lets sharded sweeps skip work already published by other hosts.
+
+See ``docs/CACHING.md`` for the full layout and workflow description.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+__all__ = [
+    "ArtifactCAS",
+    "LocalDirBackend",
+    "CACHE_SCHEMA_VERSION",
+    "SHARD_PREFIX_LEN",
+    "MAX_VALIDATE_BYTES",
+    "TMP_GRACE_S",
+]
+
+#: Bump when the record layout (or the numerics that produce it) changes so
+#: stale entries miss instead of deserializing into the wrong shape.
+#: Version 2: the halfband zero-phase response switched to a multiplication
+#: recurrence (last-ulp different from the old ``pow`` evaluation), which
+#: can steer the CSD refinement to different coefficients.  The PR-6 move
+#: to the sharded CAS layout did **not** bump the version: record content
+#: is unchanged and flat-layout entries stay readable.
+CACHE_SCHEMA_VERSION = 2
+
+#: Hex characters of the key that name the shard directory (two levels of
+#: 16 → 256 shard directories).
+SHARD_PREFIX_LEN = 2
+
+#: Validation read cap: entries larger than this are classified stale
+#: without reading them, so one corrupt multi-GB file cannot stall
+#: ``stats()``/``prune()`` (real records are a few kilobytes).
+MAX_VALIDATE_BYTES = 64 * 1024 * 1024
+
+#: Age (seconds) below which ``prune()`` leaves ``*.tmp`` files alone — a
+#: live writer publishes within milliseconds, so anything older is an
+#: orphan from a killed writer.
+TMP_GRACE_S = 3600.0
+
+#: Per-process monotonic counter making concurrent temp names unique even
+#: for threads of one process writing the same key.
+_TMP_COUNTER = itertools.count()
+
+
+class LocalDirBackend:
+    """Filesystem primitives of the CAS for one local (or mounted) directory.
+
+    The whole backend contract is: byte reads, atomic byte publication
+    (unique temp + rename within the destination directory), existence
+    probes, deletion and a single-pass scan.  Any path where ``os.replace``
+    is atomic — every local filesystem and POSIX-compliant network mounts —
+    can host a shared store.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, rel: str) -> Path:
+        """Absolute path of a store-relative file name."""
+        return self.root / rel
+
+    def exists(self, rel: str) -> bool:
+        """Whether a store-relative file exists (no read, no lock)."""
+        return (self.root / rel).is_file()
+
+    def read_bytes(self, rel: str) -> bytes:
+        """Raw bytes of a store-relative file (raises ``OSError`` if absent)."""
+        return (self.root / rel).read_bytes()
+
+    def write_bytes_atomic(self, rel: str, data: bytes) -> None:
+        """Publish ``data`` under ``rel`` atomically.
+
+        Writes to a per-writer unique temp name (pid + per-process counter)
+        in the destination directory, then renames over the final name.  A
+        writer killed mid-write leaves only its own orphaned temp file.
+        """
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+
+    def delete(self, rel: str) -> bool:
+        """Remove a store-relative file; ``True`` when something was removed."""
+        try:
+            (self.root / rel).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def scan(self) -> Iterator[Tuple[str, os.stat_result]]:
+        """Single-pass scan of every file in the store.
+
+        Yields ``(relative_name, stat)`` for the root directory and each
+        shard directory, using ``os.scandir`` so each file is stat'ed
+        exactly once — ``stats()``/``prune()`` build everything they need
+        from this one traversal.
+        """
+        try:
+            top = list(os.scandir(self.root))
+        except FileNotFoundError:
+            return
+        for entry in sorted(top, key=lambda e: e.name):
+            if entry.is_file():
+                yield entry.name, entry.stat()
+            elif entry.is_dir():
+                for sub in sorted(os.scandir(entry.path), key=lambda e: e.name):
+                    if sub.is_file():
+                        yield f"{entry.name}/{sub.name}", sub.stat()
+
+
+class ArtifactCAS:
+    """Content-addressed, shard-laid-out, concurrent-writer-safe record store.
+
+    Parameters
+    ----------
+    directory:
+        Root of a :class:`LocalDirBackend` store; created (with parents)
+        on first use.  Ignored when ``backend`` is given.
+    backend:
+        Alternative backend implementing the :class:`LocalDirBackend`
+        primitive API (e.g. one rooted on a shared filesystem mount).
+
+    Attributes
+    ----------
+    hits, misses:
+        In-process read telemetry, matching the historical ``SweepCache``
+        counters.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None,
+                 backend: Optional[LocalDirBackend] = None) -> None:
+        if backend is None:
+            if directory is None:
+                raise ValueError("ArtifactCAS needs a directory or a backend")
+            backend = LocalDirBackend(directory)
+        self.backend = backend
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """Root directory of the store (backend root)."""
+        return self.backend.root
+
+    @staticmethod
+    def _rel_for(key: str) -> str:
+        """Sharded store-relative file name of ``key``."""
+        if len(key) <= SHARD_PREFIX_LEN:
+            # Degenerate short keys (tests, ad-hoc tags) skip sharding.
+            return f"{key}.json"
+        return f"{key[:SHARD_PREFIX_LEN]}/{key[SHARD_PREFIX_LEN:]}.json"
+
+    @staticmethod
+    def _legacy_rel_for(key: str) -> str:
+        """Flat pre-shard store-relative file name of ``key``."""
+        return f"{key}.json"
+
+    @staticmethod
+    def key_of(rel: str) -> Optional[str]:
+        """Key encoded by a store-relative entry name (``None`` for temp
+        files and anything else that is not a record)."""
+        if not rel.endswith(".json"):
+            return None
+        stem = rel[:-len(".json")]
+        if "/" in stem:
+            prefix, rest = stem.split("/", 1)
+            if len(prefix) != SHARD_PREFIX_LEN or "/" in rest:
+                return None
+            return prefix + rest
+        return stem
+
+    def path_for(self, key: str) -> Path:
+        """Path of the (sharded) entry for ``key``, whether or not it
+        exists; the shard directory is created so callers can write to it
+        directly."""
+        path = self.backend.path(self._rel_for(key))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Whether an entry (sharded or legacy flat) exists for ``key``.
+
+        Pure existence probe — no read, no validation, no counter update —
+        which is what keeps :meth:`diff` index-free and cheap on shared
+        mounts.
+        """
+        return (self.backend.exists(self._rel_for(key))
+                or self.backend.exists(self._legacy_rel_for(key)))
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def get(self, key: str) -> Optional[dict]:
+        """Load a record, or ``None`` on a miss.
+
+        Corrupt, truncated or schema-mismatched entries count as misses
+        (and will be overwritten by the next :meth:`put`).  A hit on a
+        legacy flat-layout entry transparently migrates the file into the
+        sharded layout (atomic rename; concurrent migrators are benign).
+        """
+        record = self._load(self._rel_for(key))
+        if record is None:
+            record = self._load(self._legacy_rel_for(key))
+            if record is not None:
+                self._migrate(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def _load(self, rel: str) -> Optional[dict]:
+        """Parse + schema-validate one store-relative entry (no counters)."""
+        try:
+            entry = json.loads(self.backend.read_bytes(rel))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return entry.get("record")
+
+    def _migrate(self, key: str) -> None:
+        """Move a legacy flat entry into the sharded layout (best effort)."""
+        legacy = self.backend.path(self._legacy_rel_for(key))
+        target = self.backend.path(self._rel_for(key))
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, target)
+        except OSError:
+            pass  # another migrator won the (identical-bytes) race
+
+    def put(self, key: str, record: dict) -> None:
+        """Publish a record atomically (unique temp name + rename).
+
+        Safe against concurrent writers of the same key: each writer uses
+        its own temp file and the content is identical by construction, so
+        whichever rename lands last changes nothing observable.
+        """
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
+        data = json.dumps(entry, sort_keys=True).encode("utf-8")
+        rel = self._rel_for(key)
+        self.backend.write_bytes_atomic(rel, data)
+        # A published sharded entry supersedes any legacy flat twin.
+        legacy = self._legacy_rel_for(key)
+        if legacy != rel:
+            self.backend.delete(legacy)
+
+    def delete(self, key: str) -> bool:
+        """Remove an entry (both layouts); ``True`` when one existed."""
+        sharded = self.backend.delete(self._rel_for(key))
+        legacy = self.backend.delete(self._legacy_rel_for(key))
+        return sharded or legacy
+
+    # ------------------------------------------------------------------
+    # Grid diffing
+    # ------------------------------------------------------------------
+    def diff(self, keys: Iterable[str]) -> List[str]:
+        """The subset of ``keys`` with no published entry, in input order.
+
+        Index-free: each key is probed directly (no directory listing), so
+        the cost scales with the grid, not with the store.  By
+        construction ``set(diff(keys))`` and the present keys partition
+        ``keys``: their union is the grid and they are disjoint — the
+        property-based tests pin this contract.
+        """
+        return [key for key in keys if not self.contains(key)]
+
+    # ------------------------------------------------------------------
+    # Maintenance (single-pass scan shared by stats and prune)
+    # ------------------------------------------------------------------
+    def _classify(self, rel: str, stat: os.stat_result,
+                  size_guard: int) -> str:
+        """One file's role: ``"entry"``, ``"stale"`` or ``"tmp"``.
+
+        Entries are parsed at most once and never re-opened after the
+        scan's ``stat`` (the pre-PR-6 store stat'ed then reopened every
+        file); entries above ``size_guard`` are stale without any read.
+        """
+        if rel.endswith(".tmp"):
+            return "tmp"
+        if self.key_of(rel) is None:
+            return "stale"
+        if stat.st_size > size_guard:
+            return "stale"
+        return "entry" if self._load(rel) is not None else "stale"
+
+    def stats(self, size_guard: int = MAX_VALIDATE_BYTES) -> dict:
+        """Summary of the on-disk store in one scan pass.
+
+        ``stale_entries`` counts files that are corrupt, oversized (above
+        ``size_guard``) or carry a schema version other than
+        :data:`CACHE_SCHEMA_VERSION`; ``tmp_files``/``tmp_bytes`` count
+        orphaned temp files left by killed writers.  Both populations
+        always miss and are reclaimable with :meth:`prune`.
+        """
+        entries = 0
+        total_bytes = 0
+        stale = 0
+        tmp_files = 0
+        tmp_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for rel, stat in self.backend.scan():
+            kind = self._classify(rel, stat, size_guard)
+            if kind == "tmp":
+                tmp_files += 1
+                tmp_bytes += stat.st_size
+                continue
+            entries += 1
+            total_bytes += stat.st_size
+            oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+            newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+            if kind == "stale":
+                stale += 1
+        return {
+            "directory": str(self.directory),
+            "schema": CACHE_SCHEMA_VERSION,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "stale_entries": stale,
+            "tmp_files": tmp_files,
+            "tmp_bytes": tmp_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, older_than_s: Optional[float] = None,
+              everything: bool = False,
+              tmp_grace_s: float = TMP_GRACE_S,
+              size_guard: int = MAX_VALIDATE_BYTES) -> int:
+        """Remove reclaimable files in one scan pass; returns the count.
+
+        Always removes corrupt, oversized and schema-mismatched entries
+        (they can never hit) plus orphaned ``*.tmp`` files older than
+        ``tmp_grace_s`` (live writers publish within milliseconds, so the
+        default one-hour grace only spares genuinely in-flight temps).
+        ``older_than_s`` additionally removes valid entries whose file is
+        older than that many seconds; ``everything=True`` empties the
+        store (same as :meth:`clear`).
+        """
+        if everything:
+            return self.clear()
+        now = time.time()
+        removed = 0
+        for rel, stat in self.backend.scan():
+            kind = self._classify(rel, stat, size_guard)
+            if kind == "tmp":
+                reclaim = now - stat.st_mtime > tmp_grace_s
+            elif kind == "stale":
+                reclaim = True
+            else:
+                reclaim = (older_than_s is not None
+                           and now - stat.st_mtime > older_than_s)
+            if reclaim and self.backend.delete(rel):
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every record and temp file; returns the number removed
+        (temp files are cleaned but not counted, matching the historical
+        entry-count return value)."""
+        removed = 0
+        for rel, _stat in list(self.backend.scan()):
+            if self.backend.delete(rel) and not rel.endswith(".tmp"):
+                removed += 1
+        return removed
+
+    def keys(self) -> List[str]:
+        """Every stored key (both layouts), sorted."""
+        found = set()
+        for rel, _stat in self.backend.scan():
+            key = self.key_of(rel)
+            if key is not None:
+                found.add(key)
+        return sorted(found)
+
+    def _is_stale(self, path: Path) -> bool:
+        """Whether one entry file is corrupt, oversized or schema-mismatched
+        (compatibility hook for the historical ``SweepCache`` API)."""
+        try:
+            rel = str(Path(path).relative_to(self.directory))
+        except ValueError:
+            rel = Path(path).name
+        try:
+            stat = Path(path).stat()
+        except OSError:
+            return True
+        return self._classify(rel.replace(os.sep, "/"), stat,
+                              MAX_VALIDATE_BYTES) != "entry"
+
+    def __len__(self) -> int:
+        return sum(1 for rel, _stat in self.backend.scan()
+                   if self.key_of(rel) is not None)

@@ -31,7 +31,7 @@ order (:meth:`~repro.robustness.model.PerturbationModel.draw_table`), and
 travels inside the executor payloads.  All batched kernels are per-row
 bit-exact and shard-composition independent, so a fixed seed produces
 byte-identical yield records on the ``inline``, ``thread`` and ``process``
-executors and across warm :class:`~repro.explore.cache.SweepCache` re-runs
+executors and across warm :class:`~repro.explore.store.ArtifactCAS` re-runs
 (the whole record is cached under a content hash of spec, options, model
 and run settings).  Perturbed chain variants and their frequency-mask
 verifications are memoized in the run's shared
@@ -53,7 +53,7 @@ from repro.core.verification import (VerificationReport, simulated_output_snr,
 from repro.dsm.modulator import DeltaSigmaModulator
 from repro.dsm.signals import jittered_tone
 from repro.dsm.spectrum import analyze_tone_batch
-from repro.explore.cache import CACHE_SCHEMA_VERSION, SweepCache
+from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
 from repro.explore.runner import execute_payloads
 from repro.filters.halfband import perturbed_halfband
 from repro.flow.artifacts import ArtifactStore
@@ -280,7 +280,7 @@ def run_robustness_suite(scenarios: Optional[Sequence[Union[str, Scenario]]] = N
     population is sharded across ``jobs`` and executed on the shared
     :func:`~repro.explore.runner.execute_payloads` harness, with the hot
     path batched as described in the module docstring.  Whole-run records
-    are cached in the on-disk :class:`~repro.explore.cache.SweepCache`
+    are cached in the on-disk :class:`~repro.explore.store.ArtifactCAS`
     under a content hash of (spec, options, model, run settings), so
     re-runs are warm and byte-identical.
 
@@ -326,7 +326,7 @@ def run_robustness_suite(scenarios: Optional[Sequence[Union[str, Scenario]]] = N
                 f"analysis needs at least "
                 f"{MIN_ANALYSIS_OUTPUTS * decimation}")
     model = model if model is not None else default_model()
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    cache = ArtifactCAS(cache_dir) if cache_dir is not None else None
     store = store if store is not None else ArtifactStore()
     started = time.perf_counter()
 
@@ -384,7 +384,7 @@ def _run_settings(scenario: Scenario, model: PerturbationModel,
 
 def _run_single(scenario: Scenario, model: PerturbationModel, n_samples: int,
                 seed: int, stimulus_samples: Optional[int], jobs: int,
-                executor: str, cache: Optional[SweepCache],
+                executor: str, cache: Optional[ArtifactCAS],
                 store: ArtifactStore, min_pass_fraction: float,
                 ) -> Tuple[YieldReport, str]:
     """Execute (or reload) one scenario's Monte Carlo run."""

@@ -6,7 +6,7 @@ sweeps: each scenario becomes a JSON-safe payload, the payloads run on the
 :func:`repro.explore.runner.execute_payloads` harness (``inline`` /
 ``thread`` / ``process`` executors, one shared
 :class:`~repro.flow.artifacts.ArtifactStore` per run) and the records land
-in the same on-disk :class:`~repro.explore.cache.SweepCache`.  Scenario
+in the same on-disk :class:`~repro.explore.store.ArtifactCAS`.  Scenario
 records are therefore byte-identical across executors and across cached
 re-runs, which is what lets the golden-record checker
 (:mod:`repro.scenarios.golden`) treat any diff as a regression.
@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.explore.cache import SweepCache
+from repro.explore.store import ArtifactCAS
 from repro.explore.runner import execute_payloads, flow_record, run_flow_payload
 from repro.flow.artifacts import ArtifactStore
 from repro.scenarios.registry import Scenario, resolve_scenarios
@@ -257,7 +257,7 @@ def run_scenario_suite(scenarios: Optional[Sequence[Union[str, Scenario]]] = Non
     """
     selected = resolve_scenarios(list(scenarios) if scenarios is not None
                                  else None)
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    cache = ArtifactCAS(cache_dir) if cache_dir is not None else None
     started = time.perf_counter()
 
     keys = [s.cache_key() for s in selected]

@@ -1,0 +1,254 @@
+"""Reusable fault-injection harness for store concurrency & crash tests.
+
+The on-disk :class:`repro.explore.store.ArtifactCAS` promises a hard
+contract — lock-free readers never observe torn entries, killed writers
+leave only orphaned temp files, corrupt entries miss and heal — and this
+module provides the machinery the test suite uses to attack it:
+
+* :func:`corrupt_entry` — damage a published entry in place (garbage,
+  truncation, emptying, or a wrong schema version).
+* :func:`spawn_killable_writer` / :func:`kill_between_tmp_and_rename` —
+  run a real ``put`` in a child process whose ``os.replace`` is hijacked
+  to signal the parent and stall, then SIGKILL it *between* the temp
+  write and the atomic rename: the precise window a crashing writer dies
+  in.
+* :func:`race_writers` — fork N processes hammering one store with
+  overlapping key sets (every process writes the content-addressed record
+  of each key several times), returning per-process error reports.
+* :func:`expected_record` — the deterministic record each racing writer
+  publishes for a key, so assertions can check for lost or torn records.
+
+Everything here is deliberately process-based (``fork`` start method, the
+platform default on Linux) so the races and kills are real OS-level
+events, not monkeypatched approximations.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Ways :func:`corrupt_entry` can damage a published entry.
+CORRUPTION_MODES = ("garbage", "truncate", "empty", "schema")
+
+
+def corrupt_entry(cas, key: str, mode: str = "garbage") -> Path:
+    """Damage the published entry for ``key`` in place; returns its path.
+
+    ``garbage`` overwrites with non-JSON bytes, ``truncate`` chops the
+    valid JSON mid-way (simulating a partially-flushed page), ``empty``
+    truncates to zero bytes, and ``schema`` rewrites the entry with a
+    wrong ``schema`` version.  All four must read back as a miss.
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    path = cas.path_for(key)
+    if mode == "garbage":
+        path.write_bytes(b"{this is not json\x00\xff")
+    elif mode == "truncate":
+        data = path.read_bytes()
+        path.write_bytes(data[:max(1, len(data) // 2)])
+    elif mode == "empty":
+        path.write_bytes(b"")
+    elif mode == "schema":
+        from repro.explore.store import CACHE_SCHEMA_VERSION
+
+        entry = {"schema": CACHE_SCHEMA_VERSION + 1000, "key": key,
+                 "record": {"stale": True}}
+        path.write_text(json.dumps(entry), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Killed writers: die between temp-write and rename
+# ----------------------------------------------------------------------
+_KILLABLE_WRITER_SCRIPT = """
+import json, os, sys, time
+
+sys.path.insert(0, {src!r})
+import repro.explore.store as store_mod
+
+marker = {marker!r}
+
+def stalled_replace(src_path, dst_path):
+    # Signal the parent that the temp file is fully written, then stall
+    # inside the temp-write -> rename window until SIGKILL arrives.
+    with open(marker, "w") as fh:
+        fh.write(str(src_path))
+    time.sleep(600.0)
+
+store_mod.os.replace = stalled_replace
+cas = store_mod.ArtifactCAS({root!r})
+cas.put({key!r}, json.loads({record_json!r}))
+"""
+
+
+def spawn_killable_writer(root: Path, key: str, record: dict,
+                          marker: Optional[Path] = None,
+                          ) -> Tuple[subprocess.Popen, Path]:
+    """Start a child performing ``put(key, record)`` that stalls before
+    its atomic rename.
+
+    Returns ``(process, marker_path)``; the child touches ``marker_path``
+    (containing its temp-file path) once the temp file is fully written,
+    then blocks.  Use :func:`kill_between_tmp_and_rename` to wait for the
+    marker and deliver SIGKILL inside the window.
+    """
+    marker = Path(marker if marker is not None
+                  else Path(root).parent / f"writer-{os.getpid()}-{key[:8]}.marker")
+    script = _KILLABLE_WRITER_SCRIPT.format(
+        src=str(REPO_ROOT / "src"), marker=str(marker), root=str(root),
+        key=key, record_json=json.dumps(record))
+    proc = subprocess.Popen([sys.executable, "-c", script],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE)
+    return proc, marker
+
+
+def kill_between_tmp_and_rename(root: Path, key: str, record: dict,
+                                timeout_s: float = 30.0) -> Path:
+    """Run a writer and SIGKILL it between temp-write and rename.
+
+    Returns the path of the temp file the dead writer left behind (the
+    orphan).  Raises ``AssertionError`` if the writer never reached the
+    window or if no orphan was left.
+    """
+    proc, marker = spawn_killable_writer(root, key, record)
+    try:
+        deadline = time.monotonic() + timeout_s
+        while not marker.exists():
+            if proc.poll() is not None:
+                stderr = proc.stderr.read().decode()
+                raise AssertionError(
+                    f"killable writer exited prematurely: {stderr}")
+            if time.monotonic() > deadline:
+                raise AssertionError("killable writer never reached the "
+                                     "temp-write -> rename window")
+            time.sleep(0.01)
+        tmp_path = Path(marker.read_text())
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=timeout_s)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=timeout_s)
+        marker.unlink(missing_ok=True)
+    if not tmp_path.exists():
+        raise AssertionError(f"killed writer left no orphan temp file "
+                             f"({tmp_path} missing)")
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Racing writers on overlapping key sets
+# ----------------------------------------------------------------------
+def expected_record(key: str) -> dict:
+    """The deterministic record every racing writer publishes for ``key``.
+
+    Content-addressed by construction: derived from the key alone, so any
+    two processes racing on one key write identical bytes — exactly the
+    store's production situation, where the key is the content hash of
+    the inputs that produce the record.
+    """
+    return {"key": key, "payload": key[::-1], "length": len(key),
+            "rows": [{"i": i, "v": f"{key}-{i}"} for i in range(3)]}
+
+
+def _writer_main(root: str, keys: Sequence[str], rounds: int,
+                 barrier, errors) -> None:
+    """One racing writer: wait on the barrier, then put/get every key
+    ``rounds`` times, recording any contract violation."""
+    from repro.explore.store import ArtifactCAS
+
+    cas = ArtifactCAS(root)
+    barrier.wait()
+    try:
+        for _ in range(rounds):
+            for key in keys:
+                cas.put(key, expected_record(key))
+                loaded = cas.get(key)
+                if loaded != expected_record(key):
+                    errors.append(f"pid {os.getpid()}: torn/lost read of "
+                                  f"{key!r}: {loaded!r}")
+    except Exception as exc:  # pragma: no cover - only on contract failure
+        errors.append(f"pid {os.getpid()}: {type(exc).__name__}: {exc}")
+
+
+def race_writers(root: Path, key_sets: Sequence[Sequence[str]],
+                 rounds: int = 10, timeout_s: float = 120.0) -> List[str]:
+    """Race one forked writer process per key set against a single store.
+
+    Every process writes (and immediately reads back) each of its keys
+    ``rounds`` times; key sets are expected to overlap so that distinct
+    processes race on shared keys.  Returns the list of contract
+    violations observed by any writer (empty on success).
+    """
+    ctx = multiprocessing.get_context("fork")
+    manager = ctx.Manager()
+    errors = manager.list()
+    barrier = ctx.Barrier(len(key_sets))
+    procs = [ctx.Process(target=_writer_main,
+                         args=(str(root), list(keys), rounds, barrier, errors))
+             for keys in key_sets]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=timeout_s)
+        if proc.exitcode is None:
+            proc.terminate()
+            errors.append("writer process timed out")
+        elif proc.exitcode != 0:
+            errors.append(f"writer process exited {proc.exitcode}")
+    result = list(errors)
+    manager.shutdown()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Concurrent real sweeps (overlapping grids through run_sweep)
+# ----------------------------------------------------------------------
+def _sweep_main(root: str, output_bits: Sequence[int], errors) -> None:
+    """One forked process running a real (tiny) sweep against the store."""
+    try:
+        from repro.explore import SweepSpec, run_sweep
+
+        run_sweep(SweepSpec(output_bits=tuple(output_bits)), workers=1,
+                  cache_dir=root)
+    except Exception as exc:  # pragma: no cover - only on contract failure
+        errors.append(f"pid {os.getpid()}: {type(exc).__name__}: {exc}")
+
+
+def race_sweeps(root: Path, grids: Sequence[Sequence[int]],
+                timeout_s: float = 300.0) -> List[str]:
+    """Run one real ``run_sweep`` per grid concurrently on a shared store.
+
+    Each grid is an ``output_bits`` axis; overlapping grids make distinct
+    processes race on the shared points' cache keys.  Returns observed
+    errors (empty on success).
+    """
+    ctx = multiprocessing.get_context("fork")
+    manager = ctx.Manager()
+    errors = manager.list()
+    procs = [ctx.Process(target=_sweep_main, args=(str(root), grid, errors))
+             for grid in grids]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=timeout_s)
+        if proc.exitcode is None:
+            proc.terminate()
+            errors.append("sweep process timed out")
+        elif proc.exitcode != 0:
+            errors.append(f"sweep process exited {proc.exitcode}")
+    result = list(errors)
+    manager.shutdown()
+    return result

@@ -341,3 +341,97 @@ class TestArgumentValidation:
                        "--executor", "bogus", check=False)
         assert proc.returncode == 2
         assert "invalid choice: 'bogus'" in proc.stderr
+
+
+class TestShardedSweepCLI:
+    def test_shard_merge_round_trip_is_byte_identical(self, tmp_path):
+        cache = tmp_path / "cache"
+        full = tmp_path / "full.json"
+        run_cli("sweep", "--output-bits", "12", "14", "--jobs", "1",
+                "--cache-dir", str(cache), "--quiet", "--json", str(full),
+                cwd=tmp_path)
+        fragments = []
+        for i in (1, 2):
+            frag = tmp_path / f"shard{i}.json"
+            run_cli("sweep", "--output-bits", "12", "14", "--jobs", "1",
+                    "--cache-dir", str(cache), "--quiet",
+                    "--shard", f"{i}/2", "--json", str(frag), cwd=tmp_path)
+            fragments.append(frag)
+        merged = tmp_path / "merged.json"
+        proc = run_cli("sweep", "merge", *map(str, fragments),
+                       "--json", str(merged), cwd=tmp_path)
+        assert "Merged JSON report written" in proc.stdout
+        assert merged.read_bytes() == full.read_bytes()
+
+    def test_merge_renders_markdown(self, tmp_path):
+        cache = tmp_path / "cache"
+        frag = tmp_path / "shard.json"
+        run_cli("sweep", "--output-bits", "12", "--jobs", "1",
+                "--cache-dir", str(cache), "--quiet",
+                "--shard", "1/1", "--json", str(frag), cwd=tmp_path)
+        md = tmp_path / "merged.md"
+        run_cli("sweep", "merge", str(frag), "--markdown", str(md),
+                cwd=tmp_path)
+        assert "w12" in md.read_text(encoding="utf-8")
+
+    def test_shard_requires_json(self, tmp_path):
+        proc = run_cli("sweep", "--output-bits", "12", "--shard", "1/2",
+                       "--no-cache", "--quiet", cwd=tmp_path, check=False)
+        assert proc.returncode == 2
+        assert "--shard needs --json" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    @pytest.mark.parametrize("value", ["2", "0/2", "3/2", "a/b", "1/2/3x"])
+    def test_bad_shard_values_are_clean_errors(self, tmp_path, value):
+        proc = run_cli("sweep", "--output-bits", "12", "--shard", value,
+                       "--no-cache", "--quiet", "--json",
+                       str(tmp_path / "out.json"), cwd=tmp_path, check=False)
+        assert proc.returncode == 2
+        assert "invalid --shard" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_merge_rejects_incomplete_shard_set(self, tmp_path):
+        cache = tmp_path / "cache"
+        frag = tmp_path / "shard1.json"
+        run_cli("sweep", "--output-bits", "12", "14", "--jobs", "1",
+                "--cache-dir", str(cache), "--quiet",
+                "--shard", "1/2", "--json", str(frag), cwd=tmp_path)
+        proc = run_cli("sweep", "merge", str(frag), cwd=tmp_path,
+                       check=False)
+        assert proc.returncode == 2
+        assert "cannot merge shard reports" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
+class TestCacheTmpMaintenanceCLI:
+    def test_stats_reports_orphaned_tmp(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_cli("sweep", "--output-bits", "12", "--jobs", "1",
+                "--cache-dir", str(cache), "--quiet", cwd=tmp_path)
+        shard_dirs = [p for p in cache.iterdir() if p.is_dir()]
+        (shard_dirs[0] / "orphan.json.999.0.tmp").write_bytes(b"partial")
+        stats = run_cli("cache", "stats", "--cache-dir", str(cache))
+        assert "Orphaned tmp    : 1 (7 bytes)" in stats.stdout
+
+        # Default grace spares the young orphan; --tmp-grace-s 0 reclaims.
+        keep = run_cli("cache", "prune", "--cache-dir", str(cache))
+        assert "Removed 0 cache entries" in keep.stdout
+        wipe = run_cli("cache", "prune", "--cache-dir", str(cache),
+                       "--tmp-grace-s", "0")
+        assert "Removed 1 cache entries" in wipe.stdout
+        stats = run_cli("cache", "stats", "--cache-dir", str(cache))
+        assert "Orphaned tmp    : 0 (0 bytes)" in stats.stdout
+        assert "Entries         : 1" in stats.stdout
+
+    def test_negative_tmp_grace_is_a_clean_error(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        proc = run_cli("cache", "prune", "--cache-dir", str(cache),
+                       "--tmp-grace-s", "-5", check=False)
+        assert proc.returncode == 2
+        assert "--tmp-grace-s must be non-negative" in proc.stderr
+
+    def test_stats_on_missing_directory_mentions_tmp(self, tmp_path):
+        stats = run_cli("cache", "stats", "--cache-dir",
+                        str(tmp_path / "nope"))
+        assert "Orphaned tmp    : 0" in stats.stdout

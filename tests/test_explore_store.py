@@ -1,0 +1,350 @@
+"""Tests for the content-addressed artifact store (repro.explore.store).
+
+Covers the sharded key layout, the index-free grid diff, flat-layout
+migration, the schema-version contract, writer temp-file hygiene and the
+single-pass ``stats``/``prune`` maintenance path — plus property-based
+(hypothesis) pinning of the layout round-trip and the diff partition
+contract.
+"""
+
+import json
+import os
+import time
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import SweepCache
+from repro.explore.runner import shard_points
+from repro.explore.store import (
+    CACHE_SCHEMA_VERSION,
+    MAX_VALIDATE_BYTES,
+    SHARD_PREFIX_LEN,
+    ArtifactCAS,
+    LocalDirBackend,
+)
+
+KEY = "0f" + "a1" * 31  # a realistic 64-hex-char content hash
+
+
+class TestShardedLayout:
+    def test_entry_lands_in_two_level_shard_dir(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        expected = tmp_path / KEY[:SHARD_PREFIX_LEN] / f"{KEY[SHARD_PREFIX_LEN:]}.json"
+        assert expected.is_file()
+        assert cas.get(KEY) == {"v": 1}
+
+    def test_path_for_matches_published_location(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 2})
+        assert cas.path_for(KEY).read_bytes()  # exists and non-empty
+
+    def test_root_directory_stays_listable(self, tmp_path):
+        """The root holds at most 256 shard directories, never entries."""
+        cas = ArtifactCAS(tmp_path)
+        for i in range(32):
+            cas.put(f"{i:02x}{'0' * 62}", {"i": i})
+        top = [p.name for p in tmp_path.iterdir()]
+        assert all((tmp_path / name).is_dir() for name in top)
+        assert len(cas) == 32
+
+    def test_key_of_inverts_rel_for(self):
+        assert ArtifactCAS.key_of(ArtifactCAS._rel_for(KEY)) == KEY
+        assert ArtifactCAS.key_of("ab/cd.json") == "abcd"
+        assert ArtifactCAS.key_of("flat.json") == "flat"
+        assert ArtifactCAS.key_of("ab/cd.tmp") is None
+        assert ArtifactCAS.key_of("a/b/c.json") is None
+
+    def test_backend_is_pluggable(self, tmp_path):
+        backend = LocalDirBackend(tmp_path / "shared-mount")
+        cas = ArtifactCAS(backend=backend)
+        cas.put(KEY, {"v": 3})
+        # A second store over the same backend path sees the entry: the
+        # shared-filesystem sharing model.
+        other = ArtifactCAS(tmp_path / "shared-mount")
+        assert other.get(KEY) == {"v": 3}
+
+    def test_requires_directory_or_backend(self):
+        with pytest.raises(ValueError, match="directory or a backend"):
+            ArtifactCAS()
+
+
+class TestDiff:
+    def test_diff_reports_missing_in_input_order(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        keys = [f"{i:02x}{'b' * 62}" for i in range(6)]
+        for key in keys[::2]:
+            cas.put(key, {"k": key})
+        assert cas.diff(keys) == keys[1::2]
+
+    def test_diff_sees_legacy_flat_entries(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": KEY, "record": {"v": 9}}
+        (tmp_path / f"{KEY}.json").write_text(json.dumps(entry))
+        assert cas.diff([KEY]) == []
+        assert KEY in cas
+
+    def test_diff_is_existence_only(self, tmp_path):
+        """diff never reads or validates: a corrupt entry still counts as
+        present (get() heals it later as a miss)."""
+        cas = ArtifactCAS(tmp_path)
+        cas.path_for(KEY).write_text("corrupt", encoding="utf-8")
+        assert cas.diff([KEY]) == []
+        assert cas.get(KEY) is None
+
+
+class TestLegacyMigration:
+    def _write_flat(self, tmp_path, key, record):
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
+        (tmp_path / f"{key}.json").write_text(json.dumps(entry, sort_keys=True))
+
+    def test_flat_entry_hits_identically(self, tmp_path):
+        self._write_flat(tmp_path, KEY, {"legacy": True})
+        cas = ArtifactCAS(tmp_path)
+        assert cas.get(KEY) == {"legacy": True}
+        assert cas.hits == 1 and cas.misses == 0
+
+    def test_flat_entry_migrates_to_sharded_layout_on_hit(self, tmp_path):
+        self._write_flat(tmp_path, KEY, {"legacy": True})
+        cas = ArtifactCAS(tmp_path)
+        cas.get(KEY)
+        assert not (tmp_path / f"{KEY}.json").exists()
+        sharded = tmp_path / KEY[:2] / f"{KEY[2:]}.json"
+        assert sharded.is_file()
+        # Still a hit after migration, through a fresh handle too.
+        assert ArtifactCAS(tmp_path).get(KEY) == {"legacy": True}
+
+    def test_sweepcache_reads_pre_cas_directory(self, tmp_path):
+        """The historical SweepCache API keeps working over old layouts."""
+        self._write_flat(tmp_path, KEY, {"r": 1})
+        cache = SweepCache(tmp_path)
+        assert cache.get(KEY) == {"r": 1}
+        assert isinstance(cache, ArtifactCAS)
+
+    def test_put_supersedes_legacy_twin(self, tmp_path):
+        self._write_flat(tmp_path, KEY, {"old": 1})
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"new": 2})
+        assert not (tmp_path / f"{KEY}.json").exists()
+        assert cas.get(KEY) == {"new": 2}
+        assert len(cas) == 1
+
+    def test_old_schema_flat_entry_stays_a_miss(self, tmp_path):
+        entry = {"schema": CACHE_SCHEMA_VERSION - 1, "key": KEY,
+                 "record": {"v": 0}}
+        (tmp_path / f"{KEY}.json").write_text(json.dumps(entry))
+        cas = ArtifactCAS(tmp_path)
+        assert cas.get(KEY) is None
+        assert cas.misses == 1
+
+
+class TestSchemaVersionContract:
+    """Bump rules: entries written under any other schema version always
+    miss; put() always stamps the current version."""
+
+    @pytest.mark.parametrize("delta", [-1, 1, 1000])
+    def test_other_schema_versions_always_miss(self, tmp_path, delta):
+        cas = ArtifactCAS(tmp_path)
+        entry = {"schema": CACHE_SCHEMA_VERSION + delta, "key": KEY,
+                 "record": {"v": 1}}
+        cas.path_for(KEY).write_text(json.dumps(entry))
+        assert cas.get(KEY) is None
+
+    def test_put_stamps_current_schema(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        entry = json.loads(cas.path_for(KEY).read_text())
+        assert entry["schema"] == CACHE_SCHEMA_VERSION
+        assert entry["key"] == KEY
+
+    def test_missing_schema_field_misses(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.path_for(KEY).write_text(json.dumps({"record": {"v": 1}}))
+        assert cas.get(KEY) is None
+
+    def test_schema_version_is_pinned(self):
+        """Changing the version is a deliberate act: this pin forces the
+        accompanying migration/bump-rule review (see docs/CACHING.md)."""
+        assert CACHE_SCHEMA_VERSION == 2
+
+
+class TestWriterTempHygiene:
+    def test_concurrent_writers_use_distinct_tmp_names(self, tmp_path,
+                                                       monkeypatch):
+        """Two in-flight writers of one key never share a temp path (the
+        pre-CAS `.tmp` suffix collision)."""
+        import repro.explore.store as store_mod
+
+        seen = []
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            seen.append(str(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(store_mod.os, "replace", recording_replace)
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        cas.put(KEY, {"v": 1})
+        assert len(seen) == 2 and seen[0] != seen[1]
+        assert all(s.endswith(".tmp") for s in seen)
+
+    def test_no_tmp_left_after_put(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_orphaned_tmp_visible_in_stats_and_pruned(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        orphan = cas.path_for(KEY).parent / "deadbeef.json.12345.0.tmp"
+        orphan.write_bytes(b"half-written")
+        stats = cas.stats()
+        assert stats["tmp_files"] == 1
+        assert stats["tmp_bytes"] == len(b"half-written")
+        assert stats["entries"] == 1  # tmp files are not entries
+        # Young orphans are spared (could be an in-flight writer)...
+        assert cas.prune() == 0
+        assert orphan.exists()
+        # ...but are reclaimed past the grace window.
+        assert cas.prune(tmp_grace_s=0.0) == 1
+        assert not orphan.exists()
+        assert cas.get(KEY) == {"v": 1}  # entries untouched
+
+    def test_clear_also_removes_tmp_files(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        (tmp_path / "xx").mkdir(exist_ok=True)
+        (tmp_path / "xx" / "a.json.1.2.tmp").write_bytes(b"x")
+        assert cas.clear() == 1  # counts entries, cleans tmp too
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestSinglePassMaintenance:
+    def test_stats_reads_each_entry_at_most_once(self, tmp_path,
+                                                 monkeypatch):
+        cas = ArtifactCAS(tmp_path)
+        for i in range(4):
+            cas.put(f"{i:02x}{'c' * 62}", {"i": i})
+        opened = []
+        real_read = LocalDirBackend.read_bytes
+
+        def counting_read(self, rel):
+            opened.append(rel)
+            return real_read(self, rel)
+
+        monkeypatch.setattr(LocalDirBackend, "read_bytes", counting_read)
+        cas.stats()
+        assert len(opened) == 4
+        assert len(set(opened)) == 4
+
+    def test_oversized_entry_is_stale_without_reading(self, tmp_path,
+                                                      monkeypatch):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        big = cas.path_for("ff" + "e" * 62)
+        with open(big, "wb") as fh:  # sparse: no real multi-GB write
+            fh.seek(MAX_VALIDATE_BYTES + 1)
+            fh.write(b"\0")
+
+        real_read = LocalDirBackend.read_bytes
+
+        def guarded_read(self, rel):
+            if "ff/" in rel:
+                raise AssertionError("oversized entry was read")
+            return real_read(self, rel)
+
+        monkeypatch.setattr(LocalDirBackend, "read_bytes", guarded_read)
+        stats = cas.stats()
+        assert stats["stale_entries"] == 1
+        assert stats["entries"] == 2
+        # prune removes it (again without reading it).
+        assert cas.prune() == 1
+        assert not big.exists()
+
+    def test_prune_removes_stale_and_keeps_valid(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        cas.path_for("ab" + "d" * 62).write_text("corrupt")
+        entry = {"schema": CACHE_SCHEMA_VERSION + 7, "key": "x",
+                 "record": {}}
+        cas.path_for("cd" + "e" * 62).write_text(json.dumps(entry))
+        assert cas.prune() == 2
+        assert cas.get(KEY) == {"v": 1}
+
+    def test_prune_older_than_removes_expired_valid_entries(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        old = time.time() - 10_000
+        os.utime(cas.path_for(KEY), (old, old))
+        assert cas.prune(older_than_s=5_000) == 1
+        assert len(cas) == 0
+
+    def test_stats_counts_legacy_and_sharded_entries(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        cas.put(KEY, {"v": 1})
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": "aa" + "f" * 62,
+                 "record": {}}
+        (tmp_path / ("aa" + "f" * 62 + ".json")).write_text(json.dumps(entry))
+        stats = cas.stats()
+        assert stats["entries"] == 2
+        assert stats["stale_entries"] == 0
+        assert sorted(cas.keys()) == sorted([KEY, "aa" + "f" * 62])
+
+
+HEX_KEYS = st.text(alphabet="0123456789abcdef", min_size=3, max_size=64)
+
+
+class TestLayoutProperties:
+    @given(key=HEX_KEYS)
+    @settings(max_examples=200, deadline=None)
+    def test_rel_for_round_trips_through_key_of(self, key):
+        rel = ArtifactCAS._rel_for(key)
+        assert ArtifactCAS.key_of(rel) == key
+        prefix, _, rest = rel.partition("/")
+        assert prefix == key[:SHARD_PREFIX_LEN]
+        assert rest == f"{key[SHARD_PREFIX_LEN:]}.json"
+
+    @given(keys=st.lists(HEX_KEYS, min_size=1, max_size=24, unique=True),
+           data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_diff_partitions_the_grid(self, tmp_path_factory, keys, data):
+        """store ∪ missing == grid, disjoint, stable order."""
+        stored = data.draw(st.sets(st.sampled_from(keys)))
+        root = tmp_path_factory.mktemp("cas-prop")
+        cas = ArtifactCAS(root)
+        for key in stored:
+            cas.put(key, {"k": key})
+        missing = cas.diff(keys)
+        assert missing == [k for k in keys if k not in stored]  # stable order
+        assert set(missing).isdisjoint(stored)
+        assert set(missing) | stored == set(keys)
+        # Round-trip: everything stored is loadable with its own content.
+        for key in stored:
+            assert cas.get(key) == {"k": key}
+
+
+class TestShardPointsProperties:
+    @given(n_points=st.integers(min_value=0, max_value=200),
+           n_shards=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_shards_partition_the_grid(self, n_points, n_shards):
+        points = [SimpleNamespace(index=i) for i in range(n_points)]
+        shards = [shard_points(points, (i, n_shards))
+                  for i in range(1, n_shards + 1)]
+        indices = [p.index for shard in shards for p in shard]
+        assert sorted(indices) == list(range(n_points))  # union == grid
+        assert len(indices) == len(set(indices))  # disjoint
+        for shard in shards:  # each shard preserves expansion order
+            assert [p.index for p in shard] == sorted(p.index for p in shard)
+
+    def test_shard_validation(self):
+        points = [SimpleNamespace(index=i) for i in range(4)]
+        assert shard_points(points, None) == points
+        with pytest.raises(ValueError, match="invalid shard"):
+            shard_points(points, (0, 2))
+        with pytest.raises(ValueError, match="invalid shard"):
+            shard_points(points, (3, 2))

@@ -1,0 +1,152 @@
+"""Concurrency & crash-consistency tests for the artifact store.
+
+Drives the reusable harness in :mod:`tests.faultutils` against
+:class:`repro.explore.store.ArtifactCAS`: racing multiprocess writers on
+overlapping key sets, writers SIGKILLed between temp-write and atomic
+rename, corrupted published entries, and concurrent real sweeps sharing
+one store — asserting the contract the store documents: zero lost or
+torn records, orphans only ever temp files, corrupt entries miss and
+heal.
+"""
+
+import json
+
+import pytest
+
+import faultutils
+from repro.explore import SweepSpec, run_sweep, sweep_report_json
+from repro.explore.store import ArtifactCAS
+
+
+class TestCorruptEntriesMissAndHeal:
+    @pytest.mark.parametrize("mode", faultutils.CORRUPTION_MODES)
+    def test_corrupt_entry_misses_then_heals(self, tmp_path, mode):
+        cas = ArtifactCAS(tmp_path)
+        key = "ab" + "1" * 62
+        cas.put(key, {"v": 1})
+        faultutils.corrupt_entry(cas, key, mode)
+        # The damaged entry is a miss, never an exception or wrong data.
+        assert cas.get(key) is None
+        # diff still reports it present (existence-only) ...
+        assert cas.diff([key]) == []
+        # ... and the next put heals it.
+        cas.put(key, {"v": 1})
+        assert cas.get(key) == {"v": 1}
+
+    @pytest.mark.parametrize("mode", faultutils.CORRUPTION_MODES)
+    def test_corrupt_entry_is_reclaimable(self, tmp_path, mode):
+        cas = ArtifactCAS(tmp_path)
+        key = "cd" + "2" * 62
+        cas.put(key, {"v": 2})
+        faultutils.corrupt_entry(cas, key, mode)
+        assert cas.stats()["stale_entries"] == 1
+        assert cas.prune() == 1
+        assert cas.diff([key]) == [key]  # healed back to honest-missing
+
+
+class TestKilledWriters:
+    def test_kill_between_tmp_and_rename_leaves_only_an_orphan(self, tmp_path):
+        root = tmp_path / "store"
+        cas = ArtifactCAS(root)
+        published_key = "ef" + "3" * 62
+        cas.put(published_key, {"v": 3})
+        victim_key = "ef" + "4" * 62
+
+        orphan = faultutils.kill_between_tmp_and_rename(
+            root, victim_key, {"v": 4})
+
+        # The dead writer's key was never published ...
+        assert cas.get(victim_key) is None
+        assert cas.diff([victim_key]) == [victim_key]
+        # ... the neighbouring published entry is untouched ...
+        assert cas.get(published_key) == {"v": 3}
+        # ... and the only debris is the orphaned temp file, which stats
+        # reports and prune reclaims once past the grace window.
+        assert orphan.name.endswith(".tmp")
+        stats = cas.stats()
+        assert stats["tmp_files"] == 1
+        assert stats["entries"] == 1
+        assert cas.prune(tmp_grace_s=0.0) == 1
+        assert not orphan.exists()
+        assert cas.stats()["tmp_files"] == 0
+
+    def test_kill_does_not_clobber_existing_entry(self, tmp_path):
+        """A writer killed while re-publishing an existing key leaves the
+        published entry fully readable (rename never happened)."""
+        root = tmp_path / "store"
+        cas = ArtifactCAS(root)
+        key = "0a" + "5" * 62
+        cas.put(key, {"v": 5})
+        before = cas.path_for(key).read_bytes()
+        faultutils.kill_between_tmp_and_rename(root, key, {"v": 5})
+        assert cas.path_for(key).read_bytes() == before
+        assert cas.get(key) == {"v": 5}
+
+
+class TestRacingWriters:
+    def test_overlapping_writers_lose_nothing(self, tmp_path):
+        """N forked processes hammer one store with overlapping key sets;
+        every read during and after the race returns the exact record."""
+        shared = [f"{i:02x}{'a' * 62}" for i in range(8)]
+        key_sets = [
+            shared[0:5],          # writers 1 & 2 overlap on keys 2..4
+            shared[2:7],          # writers 2 & 3 overlap on keys 4..6
+            shared[4:8] + shared[0:2],  # wraps around: races with both
+        ]
+        violations = faultutils.race_writers(tmp_path, key_sets, rounds=15)
+        assert violations == []
+        # Post-race: every key readable, content exact, no temp debris.
+        cas = ArtifactCAS(tmp_path)
+        for key in shared:
+            assert cas.get(key) == faultutils.expected_record(key)
+        stats = cas.stats()
+        assert stats["entries"] == len(shared)
+        assert stats["stale_entries"] == 0
+        assert stats["tmp_files"] == 0
+
+    def test_race_survivor_bytes_are_canonical(self, tmp_path):
+        """Whichever writer wins the final rename, the on-disk bytes equal
+        a serial put of the same record — last-writer-wins is unobservable."""
+        key = "9c" + "b" * 62
+        violations = faultutils.race_writers(
+            tmp_path, [[key]] * 4, rounds=10)
+        assert violations == []
+        raced = ArtifactCAS(tmp_path).path_for(key).read_bytes()
+        serial_root = tmp_path / "serial"
+        serial = ArtifactCAS(serial_root)
+        serial.put(key, faultutils.expected_record(key))
+        assert raced == serial.path_for(key).read_bytes()
+
+
+class TestRacingSweeps:
+    def test_overlapping_sweeps_share_one_store(self, tmp_path):
+        """Concurrent real sweeps over overlapping grids race on the shared
+        points' keys; afterwards a warm union run over the same store is
+        byte-identical to a fresh serial run."""
+        store = tmp_path / "store"
+        errors = faultutils.race_sweeps(
+            store, grids=[(12, 14), (14, 16)])
+        assert errors == []
+
+        union = SweepSpec(output_bits=(12, 14, 16))
+        warm = run_sweep(union, workers=1, cache_dir=store)
+        assert warm.cache_hits == 3  # every point came from the raced store
+        fresh = run_sweep(union, workers=1,
+                          cache_dir=tmp_path / "fresh-store")
+        assert sweep_report_json(warm) == sweep_report_json(fresh)
+
+    def test_raced_store_entries_are_valid(self, tmp_path):
+        store = tmp_path / "store"
+        errors = faultutils.race_sweeps(store, grids=[(12,), (12,)])
+        assert errors == []
+        cas = ArtifactCAS(store)
+        stats = cas.stats()
+        assert stats["entries"] == 1
+        assert stats["stale_entries"] == 0
+        assert stats["tmp_files"] == 0
+        (key,) = cas.keys()
+        record = cas.get(key)
+        assert record is not None
+        # The record is complete canonical JSON (a torn write would have
+        # failed json parsing long before this assert).
+        assert json.dumps(record, sort_keys=True)
