@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <design|verify|sweep|scenario|...>``.
+"""Command-line interface: ``python -m repro <design|verify|sweep|...>``.
 
 Every workload in ``examples/`` is reproducible from the shell:
 
@@ -24,14 +24,28 @@ Every workload in ``examples/`` is reproducible from the shell:
 * ``cache``  — ``stats`` / ``prune`` for the on-disk result store
   (entry/staleness counts include orphaned writer temp files; see
   ``docs/CACHING.md`` for the store layout and contract).
+* ``serve``  — run the long-lived design service daemon: a JSON-lines
+  protocol over TCP or a UNIX socket, a hot in-memory artifact store
+  shared across requests, and in-flight coalescing of identical requests
+  (see ``docs/SERVING.md``).
+* ``client`` — send one request to a running daemon and relay its
+  stdout/stderr/exit code, byte-identical to running the same subcommand
+  directly.
 
 Argument errors (bad ``--jobs``, unknown scenarios, missing report files)
 print a one-line ``error: ...`` message and exit with code 2; only
 genuinely unexpected failures surface as tracebacks.
 
+Every command handler writes through a :class:`CommandIO` stream pair
+instead of the process-global ``sys.stdout``/``sys.stderr``: the plain CLI
+binds them to the real streams, while the serve daemon binds per-request
+buffers, so a served response carries exactly the bytes the CLI would have
+printed (:func:`run_command` is the shared entry point).
+
 See ``docs/GUIDE.md`` for a task-oriented walkthrough,
 ``docs/SCENARIOS.md`` for the scenario catalog,
-``docs/ROBUSTNESS.md`` for the perturbation-axis model and
+``docs/ROBUSTNESS.md`` for the perturbation-axis model,
+``docs/SERVING.md`` for the service protocol and
 ``docs/PERFORMANCE.md`` for the engine/executor guide.
 """
 
@@ -41,14 +55,69 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+import threading
+from typing import IO, List, Optional, Sequence
 
 #: Default on-disk cache directory of the ``sweep`` subcommand.
 DEFAULT_CACHE_DIR = ".repro-sweep-cache"
 
+#: Default TCP endpoint of the ``serve``/``client`` pair.
+DEFAULT_SERVE_HOST = "127.0.0.1"
+DEFAULT_SERVE_PORT = 7411
+
 
 class CLIError(Exception):
     """A user-input error: printed as one ``error: ...`` line, exit code 2."""
+
+
+class CommandIO:
+    """The output streams of one command invocation.
+
+    The plain CLI binds the process streams; the serve daemon binds
+    per-request ``StringIO`` buffers so concurrent requests never
+    interleave and responses reproduce the CLI's bytes exactly.
+    """
+
+    def __init__(self, stdout: Optional[IO[str]] = None,
+                 stderr: Optional[IO[str]] = None) -> None:
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.stderr = stderr if stderr is not None else sys.stderr
+
+    def out(self, text: str = "") -> None:
+        """Print one line to the command's stdout (flushing eagerly, so
+        daemon announce lines are visible through pipes)."""
+        print(text, file=self.stdout, flush=True)
+
+    def err(self, text: str = "") -> None:
+        """Print one line to the command's stderr."""
+        print(text, file=self.stderr, flush=True)
+
+
+#: Per-thread :class:`CommandIO` installed by :func:`run_command` for the
+#: duration of one invocation, so argparse usage/help output follows the
+#: command's streams even inside the daemon's worker threads.
+_COMMAND_IO = threading.local()
+
+
+def _current_io() -> Optional[CommandIO]:
+    return getattr(_COMMAND_IO, "io", None)
+
+
+class _StreamParser(argparse.ArgumentParser):
+    """``ArgumentParser`` that routes help/usage text through the active
+    :class:`CommandIO` (``add_subparsers`` inherits this class, so every
+    nested parser follows the same streams)."""
+
+    def _print_message(self, message: str,
+                       file: Optional[IO[str]] = None) -> None:
+        if not message:
+            return
+        io = _current_io()
+        if io is None:
+            super()._print_message(message, file)
+            return
+        target = io.stdout if file is sys.stdout else io.stderr
+        target.write(message)
 
 
 def _require_positive(value: Optional[int], flag: str) -> None:
@@ -95,7 +164,8 @@ def _add_report_arguments(parser: argparse.ArgumentParser,
                         help="write to FILE instead of stdout")
 
 
-def _render_saved_report(args: argparse.Namespace, renderer) -> int:
+def _render_saved_report(args: argparse.Namespace, renderer,
+                         io: CommandIO) -> int:
     """Re-render a saved JSON report through ``renderer(text, fmt)``.
 
     Corrupt files and schema mismatches (e.g. a sweep report fed to
@@ -109,7 +179,7 @@ def _render_saved_report(args: argparse.Namespace, renderer) -> int:
         rendered = renderer(text, args.format)
     except (json.JSONDecodeError, ValueError) as exc:
         raise CLIError(f"invalid report file {args.results}: {exc}")
-    _write_or_print(rendered, args.out)
+    _write_or_print(rendered, args.out, io)
     return 0
 
 
@@ -121,7 +191,7 @@ def _library_choices() -> List[str]:
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser."""
-    parser = argparse.ArgumentParser(
+    parser = _StreamParser(
         prog="python -m repro",
         description="Rapid design, verification and synthesis estimation of "
                     "delta-sigma ADC decimation filters (SOCC 2011 reproduction).",
@@ -314,6 +384,45 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                                 help="cache directory "
                                      f"(default: {DEFAULT_CACHE_DIR})")
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived design service daemon "
+                      "(JSON-lines protocol, request coalescing)")
+    serve.add_argument("--host", default=DEFAULT_SERVE_HOST,
+                       help=f"TCP bind address (default: {DEFAULT_SERVE_HOST})")
+    serve.add_argument("--port", type=int, default=DEFAULT_SERVE_PORT,
+                       help=f"TCP port; 0 picks an ephemeral port "
+                            f"(default: {DEFAULT_SERVE_PORT})")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="serve on a UNIX socket at PATH instead of TCP")
+    serve.add_argument("--jobs", type=int, default=4,
+                       help="bounded worker pool size: maximum concurrent "
+                            "request executions (default: 4)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="default on-disk result cache injected into "
+                            "requests that do not name their own "
+                            "(default: per-request)")
+    serve.add_argument("--max-artifacts", type=int, default=4096,
+                       help="in-memory artifact store entry cap; least-"
+                            "recently-used stages are evicted beyond it "
+                            "(default: 4096)")
+
+    client = sub.add_parser(
+        "client", help="send one request to a running 'repro serve' daemon")
+    client.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help=f"TCP endpoint of the daemon (default: "
+                             f"{DEFAULT_SERVE_HOST}:{DEFAULT_SERVE_PORT})")
+    client.add_argument("--socket", metavar="PATH", default=None,
+                        help="connect to a UNIX socket instead of TCP")
+    client.add_argument("--timeout", type=float, default=600.0,
+                        help="response timeout in seconds (default: 600)")
+    client.add_argument("verb", metavar="VERB",
+                        help="request verb: a repro subcommand (design, "
+                             "verify, sweep, scenario, robustness, report, "
+                             "cache) or a service verb (ping, stats, "
+                             "shutdown)")
+    client.add_argument("args", nargs=argparse.REMAINDER, metavar="ARGS",
+                        help="arguments forwarded verbatim to the verb")
     return parser
 
 
@@ -376,15 +485,21 @@ def _parse_split(text: str):
                        f"comma-separated list of integers like 4,4,6")
 
 
-def _write_or_print(text: str, path: Optional[str]) -> None:
+def _write_or_print(text: str, path: Optional[str], io: CommandIO) -> None:
     if path:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
     else:
-        print(text)
+        io.out(text)
 
 
-def _cmd_design(args: argparse.Namespace) -> int:
+def _shared_store(args: argparse.Namespace):
+    """The daemon's hot artifact store threaded through :func:`run_command`
+    (``None`` for plain CLI invocations: each run owns a fresh store)."""
+    return getattr(args, "shared_store", None)
+
+
+def _cmd_design(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.flow import flow_report_text, run_design_flow
     from repro.hardware.stdcell import library_by_name
 
@@ -397,16 +512,17 @@ def _cmd_design(args: argparse.Namespace) -> int:
         snr_samples=args.snr_samples,
         measure_activity=not args.no_activity,
         backend=args.backend,
+        artifacts=_shared_store(args),
     )
-    print(flow_report_text(result))
+    io.out(flow_report_text(result))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(result.record(), fh, sort_keys=True, indent=2)
-        print(f"\nFlow record written to {args.json}")
+        io.out(f"\nFlow record written to {args.json}")
     return 0
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
+def _cmd_verify(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.flow import run_design_flow, verification_table_markdown
     from repro.hardware.stdcell import library_by_name
 
@@ -421,9 +537,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         snr_samples=args.snr_samples,
         measure_activity=not args.no_activity,
         backend=args.backend,
+        artifacts=_shared_store(args),
     )
-    print(verification_table_markdown(result))
-    print(f"\nOverall: {'PASS' if result.meets_spec else 'FAIL'}")
+    io.out(verification_table_markdown(result))
+    io.out(f"\nOverall: {'PASS' if result.meets_spec else 'FAIL'}")
     return 0 if result.meets_spec else 1
 
 
@@ -441,7 +558,7 @@ def _parse_shard(text: Optional[str]):
     return index, count
 
 
-def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+def _cmd_sweep_merge(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.explore import merge_shard_reports, render_report_from_json
 
     texts = []
@@ -453,17 +570,17 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
         merged = merge_shard_reports(texts)
     except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
         raise CLIError(f"cannot merge shard reports: {exc}")
-    _write_or_print(merged, args.json)
+    _write_or_print(merged, args.json, io)
     if args.json:
-        print(f"Merged JSON report written to {args.json}")
+        io.out(f"Merged JSON report written to {args.json}")
     if args.markdown:
         _write_or_print(render_report_from_json(merged, "markdown"),
-                        args.markdown)
-        print(f"Merged markdown report written to {args.markdown}")
+                        args.markdown, io)
+        io.out(f"Merged markdown report written to {args.markdown}")
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _cmd_sweep(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.explore import (
         SweepSpec,
         run_sweep,
@@ -473,7 +590,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     if getattr(args, "sweep_command", None) == "merge":
-        return _cmd_sweep_merge(args)
+        return _cmd_sweep_merge(args, io)
     _require_positive(args.workers, "--workers")
     _require_positive(args.jobs, "--jobs")
     shard = _parse_shard(args.shard)
@@ -494,7 +611,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         halfband_attenuation_db=tuple(args.halfband_att),
         halfband_coefficient_bits=tuple(args.halfband_coeff_bits),
     )
-    progress = None if args.quiet else lambda line: print(line, file=sys.stderr)
+    progress = None if args.quiet else io.err
     result = run_sweep(
         sweep,
         workers=args.workers,
@@ -508,26 +625,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         executor=args.executor,
         resume=not args.no_resume,
         shard=shard,
+        store=_shared_store(args),
     )
     if shard is not None:
         # A shard writes a fragment only; ranking is a whole-grid property
         # and happens in 'sweep merge'.
-        _write_or_print(sweep_shard_json(result), args.json)
-        print(f"Shard {shard[0]}/{shard[1]} fragment written to {args.json}")
+        _write_or_print(sweep_shard_json(result), args.json, io)
+        io.out(f"Shard {shard[0]}/{shard[1]} fragment written to {args.json}")
     else:
         markdown = sweep_report_markdown(result)
-        _write_or_print(markdown, args.markdown)
+        _write_or_print(markdown, args.markdown, io)
         if args.markdown:
-            print(f"Markdown report written to {args.markdown}")
+            io.out(f"Markdown report written to {args.markdown}")
         if args.json:
-            _write_or_print(sweep_report_json(result), args.json)
-            print(f"JSON report written to {args.json}")
+            _write_or_print(sweep_report_json(result), args.json, io)
+            io.out(f"JSON report written to {args.json}")
     store = result.metadata.get("artifact_store", {})
-    print(f"\n{len(result)} points in {result.elapsed_s:.2f}s "
-          f"({result.metadata.get('executor', 'inline')} executor, "
-          f"{result.workers} jobs, {result.cache_hits} cached, "
-          f"{result.cache_misses} executed, "
-          f"{store.get('hits', 0)} shared-stage reuses)", file=sys.stderr)
+    io.err(f"\n{len(result)} points in {result.elapsed_s:.2f}s "
+           f"({result.metadata.get('executor', 'inline')} executor, "
+           f"{result.workers} jobs, {result.cache_hits} cached, "
+           f"{result.cache_misses} executed, "
+           f"{store.get('hits', 0)} shared-stage reuses)")
     return 0
 
 
@@ -544,101 +662,100 @@ def _selected_scenarios(args: argparse.Namespace):
     return [get_scenario(name) for name in args.names]
 
 
-def _run_scenario_selection(args: argparse.Namespace):
+def _run_scenario_selection(args: argparse.Namespace, io: CommandIO):
     from repro.scenarios import run_scenario_suite
 
     _require_positive(args.jobs, "--jobs")
-    progress = None if args.quiet else (
-        lambda line: print(line, file=sys.stderr))
+    progress = None if args.quiet else io.err
     return run_scenario_suite(
         _selected_scenarios(args),
         jobs=args.jobs,
         executor=args.executor,
         cache_dir=args.cache_dir,
         progress=progress,
+        store=_shared_store(args),
     )
 
 
-def _cmd_scenario(args: argparse.Namespace) -> int:
+def _cmd_scenario(args: argparse.Namespace, io: CommandIO) -> int:
     handlers = {
         "list": _cmd_scenario_list,
         "run": _cmd_scenario_run,
         "check": _cmd_scenario_check,
         "report": _cmd_scenario_report,
     }
-    return handlers[args.scenario_command](args)
+    return handlers[args.scenario_command](args, io)
 
 
-def _cmd_scenario_list(args: argparse.Namespace) -> int:
+def _cmd_scenario_list(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.scenarios import scenario_list_markdown
 
-    print(scenario_list_markdown())
+    io.out(scenario_list_markdown())
     return 0
 
 
-def _cmd_scenario_run(args: argparse.Namespace) -> int:
+def _cmd_scenario_run(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.scenarios import write_golden
     from repro.scenarios.report import (scenario_report_json,
                                         scenario_report_markdown)
 
-    suite = _run_scenario_selection(args)
+    suite = _run_scenario_selection(args, io)
     markdown = scenario_report_markdown(suite)
-    _write_or_print(markdown, args.markdown)
+    _write_or_print(markdown, args.markdown, io)
     if args.markdown:
-        print(f"Markdown report written to {args.markdown}")
+        io.out(f"Markdown report written to {args.markdown}")
     if args.json:
-        _write_or_print(scenario_report_json(suite), args.json)
-        print(f"JSON report written to {args.json}")
+        _write_or_print(scenario_report_json(suite), args.json, io)
+        io.out(f"JSON report written to {args.json}")
     if args.write_goldens:
         for result in suite:
             path = write_golden(result.name, result.record)
-            print(f"Golden record written to {path}", file=sys.stderr)
+            io.err(f"Golden record written to {path}")
     store = suite.metadata.get("artifact_store", {})
-    print(f"\n{len(suite)} scenarios in {suite.elapsed_s:.2f}s "
-          f"({suite.metadata.get('executor', 'inline')} executor, "
-          f"{suite.jobs} jobs, {suite.cache_hits} cached, "
-          f"{suite.cache_misses} executed, "
-          f"{store.get('hits', 0)} shared-stage reuses)", file=sys.stderr)
+    io.err(f"\n{len(suite)} scenarios in {suite.elapsed_s:.2f}s "
+           f"({suite.metadata.get('executor', 'inline')} executor, "
+           f"{suite.jobs} jobs, {suite.cache_hits} cached, "
+           f"{suite.cache_misses} executed, "
+           f"{store.get('hits', 0)} shared-stage reuses)")
     return 0
 
 
-def _cmd_scenario_check(args: argparse.Namespace) -> int:
+def _cmd_scenario_check(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.scenarios import check_record
 
-    suite = _run_scenario_selection(args)
+    suite = _run_scenario_selection(args, io)
     if suite.cache_hits:
         # A check over cached records validates what was in the cache, not
         # what the current code computes — fine within one CI run, a
         # footgun with a stale local cache.
-        print(f"note: {suite.cache_hits} record(s) served from the result "
-              f"cache; omit --cache-dir for a fully fresh check",
-              file=sys.stderr)
+        io.err(f"note: {suite.cache_hits} record(s) served from the result "
+               f"cache; omit --cache-dir for a fully fresh check")
     failures = 0
     for result in suite:
         diffs = check_record(result.name, result.record)
         if not diffs:
-            print(f"[ok]   {result.name}")
+            io.out(f"[ok]   {result.name}")
             continue
         failures += 1
-        print(f"[DIFF] {result.name}: {len(diffs)} mismatched field(s)")
+        io.out(f"[DIFF] {result.name}: {len(diffs)} mismatched field(s)")
         for diff in diffs[:20]:
-            print(f"       {diff}")
+            io.out(f"       {diff}")
         if len(diffs) > 20:
-            print(f"       ... and {len(diffs) - 20} more")
+            io.out(f"       ... and {len(diffs) - 20} more")
     total = len(suite)
     if failures:
-        print(f"\n{failures}/{total} scenario(s) diverge from their golden "
-              f"records (rerun with 'scenario run --write-goldens' only if "
-              f"the change is intended)")
+        io.out(f"\n{failures}/{total} scenario(s) diverge from their golden "
+               f"records (rerun with 'scenario run --write-goldens' only if "
+               f"the change is intended)")
         return 1
-    print(f"\nOK: {total} scenario(s) match their golden records")
+    io.out(f"\nOK: {total} scenario(s) match their golden records")
     return 0
 
 
-def _cmd_scenario_report(args: argparse.Namespace) -> int:
+def _cmd_scenario_report(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.scenarios import render_scenario_report_from_json
 
-    return _render_saved_report(args, render_scenario_report_from_json)
+    return _render_saved_report(args, render_scenario_report_from_json, io)
 
 
 def _build_perturbation_model(args: argparse.Namespace):
@@ -658,16 +775,16 @@ def _build_perturbation_model(args: argparse.Namespace):
     )
 
 
-def _cmd_robustness(args: argparse.Namespace) -> int:
+def _cmd_robustness(args: argparse.Namespace, io: CommandIO) -> int:
     handlers = {
         "run": _cmd_robustness_run,
         "report": _cmd_robustness_report,
         "check": _cmd_robustness_check,
     }
-    return handlers[args.robustness_command](args)
+    return handlers[args.robustness_command](args, io)
 
 
-def _cmd_robustness_run(args: argparse.Namespace) -> int:
+def _cmd_robustness_run(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.robustness import (robustness_report_json,
                                   robustness_report_markdown,
                                   run_robustness_suite)
@@ -698,8 +815,7 @@ def _cmd_robustness_run(args: argparse.Namespace) -> int:
                     f"{decimation}; the SNR analysis needs at least "
                     f"{floor})")
     model = _build_perturbation_model(args)
-    progress = None if args.quiet else (
-        lambda line: print(line, file=sys.stderr))
+    progress = None if args.quiet else io.err
     suite = run_robustness_suite(
         scenarios,
         model=model,
@@ -711,31 +827,32 @@ def _cmd_robustness_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         min_pass_fraction=args.min_yield,
         progress=progress,
+        store=_shared_store(args),
     )
     markdown = robustness_report_markdown(suite)
-    _write_or_print(markdown, args.markdown)
+    _write_or_print(markdown, args.markdown, io)
     if args.markdown:
-        print(f"Markdown report written to {args.markdown}")
+        io.out(f"Markdown report written to {args.markdown}")
     if args.json:
-        _write_or_print(robustness_report_json(suite), args.json)
-        print(f"JSON report written to {args.json}")
+        _write_or_print(robustness_report_json(suite), args.json, io)
+        io.out(f"JSON report written to {args.json}")
     store = suite.metadata.get("artifact_store", {})
-    print(f"\n{len(suite)} run(s) x {args.samples} samples in "
-          f"{suite.elapsed_s:.2f}s "
-          f"({suite.metadata.get('executor', 'inline')} executor, "
-          f"{suite.jobs} jobs, {suite.cache_hits} cached, "
-          f"{suite.cache_misses} executed, "
-          f"{store.get('hits', 0)} shared-stage reuses)", file=sys.stderr)
+    io.err(f"\n{len(suite)} run(s) x {args.samples} samples in "
+           f"{suite.elapsed_s:.2f}s "
+           f"({suite.metadata.get('executor', 'inline')} executor, "
+           f"{suite.jobs} jobs, {suite.cache_hits} cached, "
+           f"{suite.cache_misses} executed, "
+           f"{store.get('hits', 0)} shared-stage reuses)")
     return 0
 
 
-def _cmd_robustness_report(args: argparse.Namespace) -> int:
+def _cmd_robustness_report(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.robustness import render_robustness_report_from_json
 
-    return _render_saved_report(args, render_robustness_report_from_json)
+    return _render_saved_report(args, render_robustness_report_from_json, io)
 
 
-def _cmd_robustness_check(args: argparse.Namespace) -> int:
+def _cmd_robustness_check(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.robustness import (GOLDEN_RUN_SETTINGS,
                                   check_robustness_record, run_robustness,
                                   write_robustness_golden)
@@ -750,62 +867,61 @@ def _cmd_robustness_check(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         executor=args.executor,
         cache_dir=args.cache_dir,
+        store=_shared_store(args),
     )
     if report.from_cache:
-        print("note: record served from the result cache; omit --cache-dir "
-              "for a fully fresh check", file=sys.stderr)
+        io.err("note: record served from the result cache; omit --cache-dir "
+               "for a fully fresh check")
     if args.write_golden:
         path = write_robustness_golden(settings["scenario"], report.record)
-        print(f"Golden record written to {path}")
+        io.out(f"Golden record written to {path}")
         return 0
     diffs = check_robustness_record(settings["scenario"], report.record)
     if not diffs:
-        print(f"OK: pinned {settings['n_samples']}-sample Monte Carlo over "
-              f"{settings['scenario']} matches its golden record")
+        io.out(f"OK: pinned {settings['n_samples']}-sample Monte Carlo over "
+               f"{settings['scenario']} matches its golden record")
         return 0
-    print(f"[DIFF] {settings['scenario']}: {len(diffs)} mismatched field(s)")
+    io.out(f"[DIFF] {settings['scenario']}: {len(diffs)} mismatched field(s)")
     for diff in diffs[:20]:
-        print(f"       {diff}")
+        io.out(f"       {diff}")
     if len(diffs) > 20:
-        print(f"       ... and {len(diffs) - 20} more")
-    print("\nrerun with 'robustness check --write-golden' only if the "
-          "change is intended")
+        io.out(f"       ... and {len(diffs) - 20} more")
+    io.out("\nrerun with 'robustness check --write-golden' only if the "
+           "change is intended")
     return 1
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.explore import render_report_from_json
 
-    return _render_saved_report(args, render_report_from_json)
+    return _render_saved_report(args, render_report_from_json, io)
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
-    import os
-
+def _cmd_cache(args: argparse.Namespace, io: CommandIO) -> int:
     from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
 
     if not os.path.isdir(args.cache_dir):
         # Inspection must not create the directory as a side effect.
         if args.cache_command == "stats":
-            print(f"Cache directory : {args.cache_dir} (does not exist)")
-            print(f"Schema version  : {CACHE_SCHEMA_VERSION}")
-            print("Entries         : 0")
-            print("Total bytes     : 0")
-            print("Stale entries   : 0")
-            print("Orphaned tmp    : 0")
+            io.out(f"Cache directory : {args.cache_dir} (does not exist)")
+            io.out(f"Schema version  : {CACHE_SCHEMA_VERSION}")
+            io.out("Entries         : 0")
+            io.out("Total bytes     : 0")
+            io.out("Stale entries   : 0")
+            io.out("Orphaned tmp    : 0")
         else:
-            print(f"Removed 0 cache entries from {args.cache_dir}")
+            io.out(f"Removed 0 cache entries from {args.cache_dir}")
         return 0
     cache = ArtifactCAS(args.cache_dir)
     if args.cache_command == "stats":
         stats = cache.stats()
-        print(f"Cache directory : {stats['directory']}")
-        print(f"Schema version  : {stats['schema']}")
-        print(f"Entries         : {stats['entries']}")
-        print(f"Total bytes     : {stats['total_bytes']}")
-        print(f"Stale entries   : {stats['stale_entries']}")
-        print(f"Orphaned tmp    : {stats['tmp_files']} "
-              f"({stats['tmp_bytes']} bytes)")
+        io.out(f"Cache directory : {stats['directory']}")
+        io.out(f"Schema version  : {stats['schema']}")
+        io.out(f"Entries         : {stats['entries']}")
+        io.out(f"Total bytes     : {stats['total_bytes']}")
+        io.out(f"Stale entries   : {stats['stale_entries']}")
+        io.out(f"Orphaned tmp    : {stats['tmp_files']} "
+               f"({stats['tmp_bytes']} bytes)")
         return 0
     older = (args.older_than_days * 86400.0
              if args.older_than_days is not None else None)
@@ -816,8 +932,108 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         raise CLIError(f"--tmp-grace-s must be non-negative (got {grace})")
     removed = cache.prune(older_than_s=older, everything=args.all,
                           tmp_grace_s=grace)
-    print(f"Removed {removed} cache entries from {cache.directory}")
+    io.out(f"Removed {removed} cache entries from {cache.directory}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, io: CommandIO) -> int:
+    from repro.serve.server import ReproServer
+
+    _require_positive(args.jobs, "--jobs")
+    _require_positive(args.max_artifacts, "--max-artifacts")
+    if args.port < 0 or args.port > 65535:
+        raise CLIError(f"--port must lie in [0, 65535] (got {args.port})")
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        unix_path=args.socket,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_artifacts=args.max_artifacts,
+    )
+    try:
+        return server.serve_forever(announce=io.out)
+    except OSError as exc:
+        raise CLIError(f"cannot bind {server.requested_endpoint()}: {exc}")
+
+
+def _cmd_client(args: argparse.Namespace, io: CommandIO) -> int:
+    from repro.serve.client import ProtocolError, call, parse_address
+
+    if args.connect is not None and args.socket is not None:
+        raise CLIError("--connect and --socket are mutually exclusive")
+    if args.timeout <= 0:
+        raise CLIError(f"--timeout must be positive (got {args.timeout})")
+    if args.socket is not None:
+        text = f"unix:{args.socket}"
+    else:
+        text = (args.connect if args.connect is not None
+                else f"{DEFAULT_SERVE_HOST}:{DEFAULT_SERVE_PORT}")
+    try:
+        address = parse_address(text)
+    except ValueError as exc:
+        raise CLIError(str(exc))
+    try:
+        response = call(address, args.verb, list(args.args),
+                        timeout=args.timeout)
+    except ProtocolError as exc:
+        raise CLIError(f"bad response from {address}: {exc}")
+    except (ConnectionError, TimeoutError, OSError) as exc:
+        raise CLIError(f"cannot reach server at {address}: {exc}")
+    # Relay the served command's streams verbatim: byte-identity with the
+    # direct CLI invocation is the contract (pinned by tests/test_cli.py).
+    io.stdout.write(response.get("stdout", ""))
+    io.stdout.flush()
+    io.stderr.write(response.get("stderr", ""))
+    io.stderr.flush()
+    return int(response.get("exit_code", 2))
+
+
+_HANDLERS = {
+    "design": _cmd_design,
+    "verify": _cmd_verify,
+    "sweep": _cmd_sweep,
+    "scenario": _cmd_scenario,
+    "robustness": _cmd_robustness,
+    "report": _cmd_report,
+    "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
+}
+
+
+def run_command(argv: Optional[Sequence[str]] = None,
+                stdout: Optional[IO[str]] = None,
+                stderr: Optional[IO[str]] = None,
+                store=None) -> int:
+    """Parse and run one CLI invocation against explicit streams.
+
+    This is the entry point shared by :func:`main` (process streams) and
+    the serve daemon (per-request buffers + the hot shared
+    :class:`~repro.flow.artifacts.ArtifactStore` via ``store``).  Returns
+    the exit code; all output — including argparse usage/help text — goes
+    to the given streams, so concurrent invocations in one process never
+    interleave.
+    """
+    io = CommandIO(stdout=stdout, stderr=stderr)
+    previous = _current_io()
+    _COMMAND_IO.io = io
+    try:
+        try:
+            args = build_parser().parse_args(argv)
+        except SystemExit as exc:
+            code = exc.code
+            if code is None:
+                return 0
+            return code if isinstance(code, int) else 2
+        args.shared_store = store
+        try:
+            return _HANDLERS[args.command](args, io)
+        except CLIError as exc:
+            io.err(f"error: {exc}")
+            return 2
+    finally:
+        _COMMAND_IO.io = previous
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -827,18 +1043,4 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     stderr and exit with code 2, matching :mod:`argparse`'s own usage
     errors; run failures (verification FAIL, golden drift) exit 1.
     """
-    args = build_parser().parse_args(argv)
-    handlers = {
-        "design": _cmd_design,
-        "verify": _cmd_verify,
-        "sweep": _cmd_sweep,
-        "scenario": _cmd_scenario,
-        "robustness": _cmd_robustness,
-        "report": _cmd_report,
-        "cache": _cmd_cache,
-    }
-    try:
-        return handlers[args.command](args)
-    except CLIError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    return run_command(argv)

@@ -347,7 +347,8 @@ def run_sweep(sweep: SweepSpec,
               executor: str = "auto",
               chunk_size: Optional[int] = None,
               resume: bool = True,
-              shard: Optional[Tuple[int, int]] = None) -> SweepResult:
+              shard: Optional[Tuple[int, int]] = None,
+              store: Optional[ArtifactStore] = None) -> SweepResult:
     """Execute every point of a design-space sweep, in parallel, with caching.
 
     Parameters
@@ -402,6 +403,14 @@ def run_sweep(sweep: SweepSpec,
         only — render it with ``sweep_shard_json`` and combine shards
         with ``merge_shard_reports`` / ``repro sweep merge`` for the full
         byte-identical report.
+    store:
+        Shared in-memory :class:`~repro.flow.artifacts.ArtifactStore` for
+        the run's stage memoization; a fresh one is created when ``None``
+        (the default).  The serve daemon passes its hot long-lived store
+        here so stages computed by earlier requests are reused — memoized
+        results are bit-identical to cold computation, so reports do not
+        change (the store's volatile counters are not serialized into
+        them).
 
     Returns
     -------
@@ -483,7 +492,7 @@ def run_sweep(sweep: SweepSpec,
 
     payloads = [{**p.payload(), "flow": flow_settings} for p in pending]
     _, mode, store = execute_payloads(
-        payloads, jobs=n_jobs, executor=executor, warm=warm,
+        payloads, jobs=n_jobs, executor=executor, store=store, warm=warm,
         on_result=finish, chunk_size=chunk_size)
 
     elapsed = time.perf_counter() - started

@@ -9,9 +9,12 @@ explicit: each flow stage derives a content key from its actual inputs and
 asks the store to either return the previously computed artifact or compute
 it exactly once.
 
-The store is purely in-memory and lives for one :func:`repro.explore.run_sweep`
-call (or one :func:`repro.flow.run_design_flow` call when the caller passes
-one in).  It is thread-safe — the sweep runner's thread executor shares one
+The store is purely in-memory and normally lives for one
+:func:`repro.explore.run_sweep` call (or one
+:func:`repro.flow.run_design_flow` call when the caller passes one in);
+the serve daemon instead keeps one hot store alive across requests, bounded
+by ``max_entries`` with least-recently-used eviction so a long-running
+process cannot grow without limit.  It is thread-safe — the sweep runner's thread executor shares one
 store across workers, with per-key locks so a stage shared by N points is
 still computed exactly once — and picklable, so the process executor can
 ship a pre-warmed store to each worker through the pool initializer (once
@@ -42,14 +45,40 @@ class ArtifactStore:
     ----------
     hits, misses:
         Number of stage computations avoided / performed, for telemetry.
+    evictions:
+        Number of entries dropped by the ``max_entries`` LRU cap.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        """``max_entries`` bounds the store: beyond it, the least-recently-
+        used entry is evicted on insert (``None``, the default, never
+        evicts — the one-shot CLI/sweep lifetime needs no bound)."""
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1 "
+                             f"(got {max_entries})")
         self._data: Dict[Tuple, Any] = {}
         self._lock = threading.Lock()
         self._key_locks: Dict[Tuple, threading.Lock] = {}
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _touch(self, key: Tuple) -> None:
+        """Mark ``key`` most-recently-used (dict preserves insert order;
+        caller holds the store lock)."""
+        if self.max_entries is not None:
+            self._data[key] = self._data.pop(key)
+
+    def _evict_over_cap(self) -> None:
+        """Drop least-recently-used entries beyond the cap (caller holds
+        the store lock)."""
+        if self.max_entries is None:
+            return
+        while len(self._data) > self.max_entries:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     # Core API
@@ -57,12 +86,17 @@ class ArtifactStore:
     def get(self, key: Tuple) -> Optional[Any]:
         """Return the stored artifact for ``key`` or ``None`` (not counted)."""
         with self._lock:
-            return self._data.get(key)
+            if key in self._data:
+                self._touch(key)
+                return self._data[key]
+            return None
 
     def put(self, key: Tuple, value: Any) -> None:
         """Store (or replace) an artifact."""
         with self._lock:
+            self._data.pop(key, None)
             self._data[key] = value
+            self._evict_over_cap()
 
     def get_or_compute(self, key: Tuple, compute: Callable[[], Any],
                        copy: bool = False) -> Any:
@@ -77,18 +111,21 @@ class ArtifactStore:
         with self._lock:
             if key in self._data:
                 self.hits += 1
+                self._touch(key)
                 return self._maybe_copy(self._data[key], copy)
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
             with self._lock:
                 if key in self._data:
                     self.hits += 1
+                    self._touch(key)
                     return self._maybe_copy(self._data[key], copy)
             value = compute()
             with self._lock:
                 self._data[key] = value
                 self.misses += 1
                 self._key_locks.pop(key, None)
+                self._evict_over_cap()
             return self._maybe_copy(value, copy)
 
     def lock_for(self, key: Tuple) -> threading.Lock:
@@ -137,11 +174,14 @@ class ArtifactStore:
     def __getstate__(self) -> dict:
         with self._lock:
             return {"data": dict(self._data), "hits": self.hits,
-                    "misses": self.misses}
+                    "misses": self.misses, "max_entries": self.max_entries,
+                    "evictions": self.evictions}
 
     def __setstate__(self, state: dict) -> None:
         self._data = state["data"]
         self.hits = state["hits"]
         self.misses = state["misses"]
+        self.max_entries = state.get("max_entries")
+        self.evictions = state.get("evictions", 0)
         self._lock = threading.Lock()
         self._key_locks = {}

@@ -1,0 +1,48 @@
+"""Long-running design service: daemon, protocol, coalescing, telemetry.
+
+``repro serve`` keeps one hot process alive so repeated design requests
+skip the interpreter/import/cache-load cost every one-shot CLI invocation
+pays, and so identical concurrent requests share one computation:
+
+* :mod:`repro.serve.protocol` — the JSON-lines wire format (framing
+  limits, request parsing, error envelopes, content-hash request keys).
+* :mod:`repro.serve.coalesce` — single-flight coalescing of identical
+  in-flight requests.
+* :mod:`repro.serve.telemetry` — per-request counters served on the
+  ``stats`` verb (queue depth, coalesce count, cache hit rate, p50/p99
+  latency).
+* :mod:`repro.serve.server` — the stdlib-``asyncio`` daemon dispatching
+  requests onto a bounded worker pool riding
+  :func:`repro.explore.runner.execute_payloads` with the hot shared
+  :class:`~repro.flow.artifacts.ArtifactStore`.
+* :mod:`repro.serve.client` — the blocking client used by
+  ``repro client``, the tests and the traffic-generator benchmark.
+
+The service contract: every served response is byte-identical to the
+corresponding ``python -m repro`` CLI invocation (stdout, stderr and exit
+code), cold and warm — see ``docs/SERVING.md``.
+"""
+
+from repro.serve.client import ServeClient, call, parse_address
+from repro.serve.coalesce import Coalescer
+from repro.serve.protocol import (MAX_LINE_BYTES, ProtocolError,
+                                  encode_line, error_envelope,
+                                  parse_request, request_key)
+from repro.serve.server import ReproServer, execute_request_payload
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = [
+    "Coalescer",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeTelemetry",
+    "call",
+    "encode_line",
+    "error_envelope",
+    "execute_request_payload",
+    "parse_address",
+    "parse_request",
+    "request_key",
+]

@@ -1,0 +1,141 @@
+"""Blocking client of the design service (``repro client``, tests, bench).
+
+The protocol is synchronous per connection — one request line, one
+response line, in order — so a plain ``socket`` client is all a caller
+needs; no event loop, safe to drive from many threads with one
+:class:`ServeClient` each (the barrier harness in the concurrency tests
+and the traffic-generator benchmark do exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.serve.protocol import ProtocolError, encode_line
+
+__all__ = ["Address", "ProtocolError", "ServeClient", "call",
+           "parse_address"]
+
+
+@dataclass(frozen=True)
+class Address:
+    """A parsed service endpoint: TCP ``host:port`` or ``unix:PATH``."""
+
+    host: Optional[str] = None
+    port: Optional[int] = None
+    path: Optional[str] = None
+
+    @property
+    def is_unix(self) -> bool:
+        """Whether this is a UNIX-socket endpoint."""
+        return self.path is not None
+
+    def __str__(self) -> str:
+        if self.is_unix:
+            return f"unix:{self.path}"
+        return f"{self.host}:{self.port}"
+
+
+def parse_address(text: str) -> Address:
+    """Parse ``host:port`` or ``unix:PATH`` into an :class:`Address`.
+
+    Raises :class:`ValueError` for anything else — surfaced by the CLI as
+    a ``CLIError`` (exit 2).
+    """
+    if text.startswith("unix:"):
+        path = text[len("unix:"):]
+        if not path:
+            raise ValueError(f"invalid address {text!r}: empty socket path")
+        return Address(path=path)
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"invalid address {text!r}: expected HOST:PORT "
+                         f"or unix:PATH")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid address {text!r}: port {port_text!r} "
+                         f"is not an integer")
+    if not 0 < port <= 65535:
+        raise ValueError(f"invalid address {text!r}: port out of range")
+    return Address(host=host, port=port)
+
+
+class ServeClient:
+    """One persistent connection to a running daemon.
+
+    Usable as a context manager; :meth:`request` blocks until the
+    response line arrives (or the socket timeout fires).
+    """
+
+    def __init__(self, address: Address, timeout: float = 600.0) -> None:
+        """Connect to ``address`` with a per-operation ``timeout``."""
+        self.address = address
+        if address.is_unix:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address.path)
+        else:
+            self._sock = socket.create_connection(
+                (address.host, address.port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes to the connection (protocol tests only)."""
+        self._sock.sendall(data)
+
+    def read_response_line(self) -> bytes:
+        """Read one raw response line (empty at EOF)."""
+        return self._rfile.readline()
+
+    def request(self, verb: str, args: Sequence[str] = (),
+                request_id: Any = None) -> dict:
+        """Send one request and return the decoded response envelope.
+
+        Raises :class:`ConnectionError` if the server closes without
+        answering and :class:`ProtocolError` (kind ``bad-response``) if
+        the response line is not a JSON object.
+        """
+        payload = {"id": request_id, "verb": verb, "args": list(args)}
+        self.send_raw(encode_line(payload).encode("utf-8"))
+        line = self.read_response_line()
+        if not line:
+            raise ConnectionError("server closed the connection "
+                                  "without responding")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError("bad-response",
+                                f"undecodable response line: {exc}")
+        if not isinstance(response, dict):
+            raise ProtocolError(
+                "bad-response",
+                f"response must be a JSON object, "
+                f"got {type(response).__name__}")
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager entry: the connected client."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+
+def call(address: Address, verb: str, args: Sequence[str] = (),
+         timeout: float = 600.0, request_id: Any = None) -> dict:
+    """One-shot convenience: connect, send one request, return the
+    response envelope, close (what ``repro client`` uses)."""
+    with ServeClient(address, timeout=timeout) as client:
+        return client.request(verb, args, request_id=request_id)

@@ -1,0 +1,75 @@
+"""Single-flight coalescing of identical in-flight requests.
+
+The daemon keys every command request by its content hash
+(:func:`repro.serve.protocol.request_key`); while a computation for a key
+is in flight, every further request for the same key *joins* it instead of
+launching its own.  The :class:`Coalescer` tracks that in-flight map and
+the launch/join counters, but is deliberately agnostic about what an
+"execution" is — the server hands it an ``asyncio.Task`` factory, while
+the property-based tests drive it synchronously with plain tokens — so
+the interleaving invariants (never more than one launch per key in
+flight, joins never starve) are testable without an event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Thread-safe single-flight map from request key to in-flight entry.
+
+    Attributes
+    ----------
+    launched, coalesced:
+        Number of computations started / requests that joined an existing
+        in-flight computation, for the ``stats`` telemetry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Any] = {}
+        self.launched = 0
+        self.coalesced = 0
+
+    def join(self, key: str,
+             launch: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Return ``(entry, leader)`` for ``key``.
+
+        The first caller for an idle key invokes ``launch()`` (under the
+        coalescer lock — it must only *start* the work, e.g. create a
+        task, never wait for it) and becomes the leader
+        (``leader=True``); it owns calling :meth:`release` once the entry
+        completes.  Every caller while the entry is in flight gets the
+        same entry back with ``leader=False`` and is counted in
+        ``coalesced``.
+        """
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                self.coalesced += 1
+                return entry, False
+            entry = launch()
+            self._inflight[key] = entry
+            self.launched += 1
+            return entry, True
+
+    def release(self, key: str) -> None:
+        """Retire a completed key: the next request for it launches anew
+        (idempotent — releasing an idle key is a no-op)."""
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    def in_flight(self) -> int:
+        """Number of keys currently executing."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        """Launch/join counters plus the current in-flight count."""
+        with self._lock:
+            return {"launched": self.launched, "coalesced": self.coalesced,
+                    "in_flight": len(self._inflight)}

@@ -1,0 +1,127 @@
+"""JSON-lines wire protocol of the design service.
+
+One request per line, one response per line, UTF-8, newline-terminated:
+
+.. code-block:: json
+
+    {"id": 1, "verb": "design", "args": ["--no-activity"]}
+    {"id": 1, "ok": true, "exit_code": 0, "stdout": "...", "stderr": "...",
+     "coalesced": false, "key": "<sha256>"}
+
+``verb`` is either a repro subcommand (:data:`COMMAND_VERBS` — executed
+exactly as the CLI would, with ``args`` as its argv tail) or a service
+control verb (:data:`CONTROL_VERBS`).  ``id`` is an optional client-chosen
+correlation value echoed verbatim in the response; responses on one
+connection are delivered in request order.
+
+Malformed traffic never kills the server: it answers with an *error
+envelope* (:func:`error_envelope`) whose ``exit_code``/``stderr`` mirror
+the CLI's ``CLIError`` taxonomy (one ``error: ...`` line, exit code 2), so
+a client piping responses is indistinguishable from a failing CLI run.
+Oversized request lines (:data:`MAX_LINE_BYTES`) additionally close the
+connection, since the line framing is lost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.spec import content_hash
+
+#: Hard per-line byte limit for requests; argv-sized requests sit far
+#: below it, so anything larger is a framing error, not a workload.
+MAX_LINE_BYTES = 1 << 20
+
+#: Request verbs executed as CLI subcommands (``args`` = argv tail).
+COMMAND_VERBS = ("design", "verify", "sweep", "scenario", "robustness",
+                 "report", "cache")
+
+#: Service control verbs handled by the daemon itself.
+CONTROL_VERBS = ("ping", "stats", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A malformed request or response line.
+
+    ``kind`` is a stable machine-readable tag (``bad-json``,
+    ``bad-request``, ``unknown-verb``, ``oversized``, ``bad-response``)
+    surfaced in error envelopes and client exceptions.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+def encode_line(obj: Any) -> str:
+    """Serialize one protocol object as a compact, newline-terminated,
+    key-sorted JSON line (deterministic bytes for identical content)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def parse_request(line: bytes) -> Tuple[Any, str, List[str]]:
+    """Parse one request line into ``(id, verb, args)``.
+
+    Raises :class:`ProtocolError` with kind ``bad-json`` for undecodable
+    lines, ``bad-request`` for JSON of the wrong shape (non-object, missing
+    or non-string verb, non-string args) and ``unknown-verb`` for verbs
+    outside :data:`COMMAND_VERBS` + :data:`CONTROL_VERBS`.
+    """
+    try:
+        request = json.loads(line.decode("utf-8", errors="strict"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad-json", f"undecodable request line: {exc}")
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"request must be a JSON object, got {type(request).__name__}")
+    verb = request.get("verb")
+    if not isinstance(verb, str) or not verb:
+        raise ProtocolError("bad-request",
+                            "request needs a non-empty string 'verb'")
+    args = request.get("args", [])
+    if (not isinstance(args, list)
+            or any(not isinstance(a, str) for a in args)):
+        raise ProtocolError("bad-request",
+                            "'args' must be a list of strings")
+    if verb not in COMMAND_VERBS and verb not in CONTROL_VERBS:
+        known = ", ".join(COMMAND_VERBS + CONTROL_VERBS)
+        raise ProtocolError("unknown-verb",
+                            f"unknown verb {verb!r}; expected one of {known}")
+    return request.get("id"), verb, list(args)
+
+
+def error_envelope(request_id: Any, kind: str, message: str) -> dict:
+    """The response for a request that never reached a command handler.
+
+    Mirrors the CLI's ``CLIError`` contract — one ``error: ...`` line on
+    stderr and exit code 2 — so protocol errors and argument errors look
+    identical to a client that only relays streams and exit codes.
+    """
+    return {
+        "id": request_id,
+        "ok": False,
+        "exit_code": 2,
+        "stdout": "",
+        "stderr": f"error: {message}\n",
+        "error": {"kind": kind, "message": message},
+        "coalesced": False,
+    }
+
+
+def request_key(verb: str, args: Sequence[str],
+                extra: Optional[dict] = None) -> str:
+    """Content-hash coalescing key of one command request.
+
+    Two requests get the same key exactly when they would run the same
+    subcommand with the same argv (after the server's ``--cache-dir``
+    defaulting), riding :func:`repro.core.spec.content_hash` — the same
+    canonical-JSON SHA-256 that keys `ChainSpec` content and the on-disk
+    CAS.  ``extra`` folds in server-side context that changes the result
+    (unused today, reserved for per-tenant isolation).
+    """
+    payload: dict = {"verb": verb, "args": list(args)}
+    if extra:
+        payload["extra"] = extra
+    return content_hash(payload)

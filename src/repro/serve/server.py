@@ -1,0 +1,383 @@
+"""The design service daemon: asyncio front end, bounded worker pool.
+
+:class:`ReproServer` accepts JSON-lines connections (TCP or UNIX socket),
+parses each request (:mod:`repro.serve.protocol`), and executes command
+verbs by running the *actual CLI handler* — :func:`repro.cli.run_command`
+against per-request string buffers — on a bounded ``ThreadPoolExecutor``.
+That single decision buys the service contract for free: a served
+response's stdout/stderr/exit code are byte-identical to the one-shot
+``python -m repro`` invocation, because they are produced by the same
+code, and every request still rides
+:func:`repro.explore.runner.execute_payloads` with the daemon's hot
+shared :class:`~repro.flow.artifacts.ArtifactStore`, so stages computed
+for one client are reused (bit-identically) for the next.
+
+Identical in-flight requests are coalesced
+(:class:`~repro.serve.coalesce.Coalescer`): the computation runs as an
+independent event-loop task awaited through ``asyncio.shield``, so a
+client disconnecting mid-flight never cancels the shared work for the
+survivors.
+
+Lifecycle: :meth:`ReproServer.serve_forever` (blocking, used by the CLI)
+wraps the async :meth:`ReproServer.run`; tests run the latter on a
+background-thread event loop and stop it with
+:meth:`ReproServer.request_shutdown` (thread-safe), or clients send the
+``shutdown`` verb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import io
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.flow.artifacts import ArtifactStore
+from repro.serve.coalesce import Coalescer
+from repro.serve.protocol import (MAX_LINE_BYTES, ProtocolError, encode_line,
+                                  error_envelope, parse_request, request_key)
+from repro.serve.telemetry import ServeTelemetry
+
+__all__ = ["ReproServer", "execute_request_payload"]
+
+#: Subcommand (or subcommand, sub-subcommand) prefixes that accept a
+#: ``--cache-dir`` flag, i.e. where the daemon's default cache applies.
+_CACHE_DIR_VERBS = {
+    "sweep": ("run",),          # bare sweep only; 'sweep merge' reads files
+    "scenario": ("run", "check"),
+    "robustness": ("run", "check"),
+    "cache": ("stats", "prune"),
+}
+
+
+def execute_request_payload(payload: dict,
+                            artifacts: Optional[ArtifactStore] = None) -> dict:
+    """Run one served request's CLI invocation and capture its streams.
+
+    The payload is ``{"argv": [subcommand, arg, ...]}``; the command runs
+    through :func:`repro.cli.run_command` with per-request ``StringIO``
+    buffers and the daemon's shared artifact store, and the result is the
+    JSON-safe response core ``{"exit_code", "stdout", "stderr"}``.
+    Module-level so :func:`repro.explore.runner.execute_payloads` can
+    treat it like any other task.
+    """
+    from repro.cli import run_command
+
+    stdout, stderr = io.StringIO(), io.StringIO()
+    exit_code = run_command(list(payload["argv"]), stdout=stdout,
+                            stderr=stderr, store=artifacts)
+    return {"exit_code": int(exit_code), "stdout": stdout.getvalue(),
+            "stderr": stderr.getvalue()}
+
+
+class ReproServer:
+    """One design-service daemon instance.
+
+    Parameters
+    ----------
+    host, port:
+        TCP endpoint (``port=0`` binds an ephemeral port, reported in
+        ``address`` after :meth:`start`).  Ignored when ``unix_path`` is
+        given.
+    unix_path:
+        Serve on a UNIX domain socket at this path instead of TCP.
+    jobs:
+        Worker-pool size: the maximum number of concurrently *executing*
+        requests; further requests queue (the queue depth is visible on
+        the ``stats`` verb).
+    cache_dir:
+        Default on-disk result cache: injected as ``--cache-dir`` into
+        requests whose verb accepts one and whose argv does not name its
+        own.  Injection happens *before* the coalescing key is computed,
+        so clients relying on the server default still coalesce.
+    max_artifacts:
+        Entry cap of the hot in-memory artifact store (LRU eviction).
+    max_line_bytes:
+        Per-request line limit; longer lines get an ``oversized`` error
+        envelope and the connection closes (framing is lost).
+    """
+
+    def __init__(self,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 unix_path: Optional[str] = None,
+                 jobs: int = 4,
+                 cache_dir: Optional[str] = None,
+                 max_artifacts: Optional[int] = 4096,
+                 max_line_bytes: int = MAX_LINE_BYTES) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1 (got {jobs})")
+        self.host = host
+        self.port = int(port)
+        self.unix_path = unix_path
+        self.jobs = int(jobs)
+        self.cache_dir = cache_dir
+        self.max_line_bytes = int(max_line_bytes)
+        #: The hot shared store: every request's flow stages memoize here.
+        self.store = ArtifactStore(max_entries=max_artifacts)
+        self.coalescer = Coalescer()
+        self.telemetry = ServeTelemetry()
+        #: ``host:port`` / ``unix:PATH`` actually bound (set by start()).
+        self.address: Optional[str] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def requested_endpoint(self) -> str:
+        """The configured endpoint, for bind-failure messages."""
+        if self.unix_path is not None:
+            return f"unix:{self.unix_path}"
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listening socket and create the worker pool."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._pool = ThreadPoolExecutor(max_workers=self.jobs,
+                                        thread_name_prefix="repro-serve")
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.unix_path,
+                limit=self.max_line_bytes)
+            self.address = f"unix:{self.unix_path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port,
+                limit=self.max_line_bytes)
+            bound = self._server.sockets[0].getsockname()
+            self.address = f"{self.host}:{bound[1]}"
+
+    async def close(self) -> None:
+        """Stop accepting connections and retire the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self.unix_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.unix_path)
+
+    def request_shutdown(self) -> None:
+        """Ask the daemon to exit (thread-safe; idempotent)."""
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    async def run(self,
+                  announce: Optional[Callable[[str], None]] = None,
+                  ready: Optional[threading.Event] = None) -> int:
+        """Start, announce, serve until shutdown is requested, close.
+
+        ``announce`` receives one parseable line
+        (``repro-serve listening on <address>``) once the socket is
+        bound; ``ready`` is set at the same moment (for in-process test
+        harnesses waiting on a background-thread loop).
+        """
+        await self.start()
+        try:
+            if announce is not None:
+                announce(f"repro-serve listening on {self.address}")
+            if ready is not None:
+                ready.set()
+            await self._shutdown_event.wait()
+        finally:
+            await self.close()
+        return 0
+
+    def serve_forever(self,
+                      announce: Optional[Callable[[str], None]] = None) -> int:
+        """Blocking entry point of ``repro serve``; returns the exit code
+        (Ctrl-C is a clean shutdown, not a traceback)."""
+        try:
+            return asyncio.run(self.run(announce=announce))
+        except KeyboardInterrupt:
+            return 0
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """Serve one client connection: requests in, responses out, in
+        order, until EOF, an unrecoverable framing error, or shutdown.
+
+        Absorbs cancellation (shutdown tears the loop down while handlers
+        sit in ``readline``) so the task ends cleanly instead of spraying
+        ``CancelledError`` through the streams machinery; the coalesced
+        computations themselves live on independent tasks and are never
+        cancelled by a subscriber's demise.
+        """
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """The request/response loop of one connection."""
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # readline() lost the frame: the line exceeded the
+                    # stream limit.  Answer and drop the connection.
+                    self.telemetry.count_protocol_error()
+                    await self._send(writer, error_envelope(
+                        None, "oversized",
+                        f"request line exceeds {self.max_line_bytes} bytes"))
+                    break
+                if not line:
+                    break
+                if not line.endswith(b"\n"):
+                    # EOF mid-line: the request was never completed, so
+                    # it gets no response (a line is a request only once
+                    # its newline arrives).
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                await self._send(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    response: dict) -> None:
+        writer.write(encode_line(response).encode("utf-8"))
+        await writer.drain()
+
+    async def _handle_line(self, line: bytes) -> dict:
+        """Parse and dispatch one request line; never raises."""
+        started = time.perf_counter()
+        try:
+            request_id, verb, args = parse_request(line)
+        except ProtocolError as exc:
+            self.telemetry.count_protocol_error()
+            return error_envelope(None if exc.kind == "bad-json" else
+                                  self._request_id_of(line), exc.kind,
+                                  str(exc))
+        if verb == "ping":
+            response = {"id": request_id, "ok": True, "exit_code": 0,
+                        "stdout": "pong\n", "stderr": "", "coalesced": False}
+        elif verb == "stats":
+            snapshot = self.stats_snapshot()
+            import json as _json
+
+            response = {"id": request_id, "ok": True, "exit_code": 0,
+                        "stdout": _json.dumps(snapshot, indent=2,
+                                              sort_keys=True) + "\n",
+                        "stderr": "", "coalesced": False, "stats": snapshot}
+        elif verb == "shutdown":
+            response = {"id": request_id, "ok": True, "exit_code": 0,
+                        "stdout": "shutting down\n", "stderr": "",
+                        "coalesced": False}
+            self._shutdown_event.set()
+        else:
+            response = await self._execute(request_id, verb, args)
+        self.telemetry.observe(verb, int(response.get("exit_code", 2)),
+                               time.perf_counter() - started)
+        return response
+
+    @staticmethod
+    def _request_id_of(line: bytes) -> Any:
+        """Best-effort id recovery for shape/verb errors (the line did
+        decode as JSON, so echo the client's correlation id if present)."""
+        import json as _json
+
+        try:
+            decoded = _json.loads(line.decode("utf-8"))
+        except Exception:
+            return None
+        return decoded.get("id") if isinstance(decoded, dict) else None
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+    def _effective_argv(self, verb: str, args: Sequence[str]) -> List[str]:
+        """The argv actually executed: verb + args, with the server's
+        default ``--cache-dir`` appended when the verb accepts one and
+        the client did not name its own."""
+        argv = [verb] + list(args)
+        if self.cache_dir is None or "--cache-dir" in args:
+            return argv
+        subverbs = _CACHE_DIR_VERBS.get(verb)
+        if subverbs is None:
+            return argv
+        if verb == "sweep":
+            if args and args[0] == "merge":
+                return argv
+        elif not args or args[0] not in subverbs:
+            return argv
+        return argv + ["--cache-dir", self.cache_dir]
+
+    async def _execute(self, request_id: Any, verb: str,
+                       args: List[str]) -> dict:
+        """Run (or join) one command request and build its response."""
+        argv = self._effective_argv(verb, args)
+        key = request_key(argv[0], argv[1:])
+        loop = asyncio.get_running_loop()
+
+        def launch() -> asyncio.Task:
+            # An independent task (not this connection's coroutine): the
+            # computation survives any subscriber disconnecting.
+            task = loop.create_task(self._run_command_task(argv))
+            task.add_done_callback(lambda _t: self.coalescer.release(key))
+            return task
+
+        task, leader = self.coalescer.join(key, launch)
+        result = await asyncio.shield(task)
+        return {"id": request_id, "ok": result["exit_code"] == 0,
+                "exit_code": result["exit_code"],
+                "stdout": result["stdout"], "stderr": result["stderr"],
+                "coalesced": not leader, "key": key}
+
+    async def _run_command_task(self, argv: List[str]) -> dict:
+        """The shared per-key computation: one pool slot, one CLI run."""
+        self.telemetry.enter_queue()
+        try:
+            return await self._loop.run_in_executor(
+                self._pool, self._run_blocking, argv)
+        finally:
+            self.telemetry.exit_queue()
+
+    def _run_blocking(self, argv: List[str]) -> dict:
+        """Worker-thread body: ride the standard payload harness with the
+        hot shared store (inline, one payload — the service's concurrency
+        lives in the pool, not inside a request)."""
+        from repro.explore.runner import execute_payloads
+
+        records, _mode, _store = execute_payloads(
+            [{"argv": list(argv)}], task=execute_request_payload,
+            jobs=1, executor="inline", store=self.store)
+        return records[0]
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """The ``stats`` verb payload (also used by in-process tests)."""
+        store_stats = self.store.stats()
+        store_stats["evictions"] = self.store.evictions
+        store_stats["max_entries"] = self.store.max_entries
+        return self.telemetry.snapshot(
+            coalesce=self.coalescer.stats(),
+            artifact_store=store_stats,
+            server={"address": self.address, "jobs": self.jobs,
+                    "cache_dir": self.cache_dir},
+        )

@@ -1,0 +1,130 @@
+"""Per-request telemetry of the design service, served on ``stats``.
+
+Counters are cheap enough to update on every request (one lock, a few
+integer bumps, one deque append) and are read only when a client asks:
+queue depth (requests submitted to the worker pool and not yet finished),
+per-verb request counts, error counts, and a bounded latency window from
+which the ``stats`` verb derives p50/p99 (nearest-rank over the most
+recent :data:`LATENCY_WINDOW` requests — a ring buffer, so a long-running
+daemon reports recent behavior, not its lifetime average).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional, Sequence
+
+__all__ = ["LATENCY_WINDOW", "ServeTelemetry", "percentile_nearest_rank"]
+
+#: Latency samples retained for the p50/p99 window.
+LATENCY_WINDOW = 1024
+
+
+def percentile_nearest_rank(sorted_values: Sequence[float],
+                            fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    ``fraction`` in (0, 1]; the empty sample returns 0.0.  Nearest-rank
+    (ceil(f*n)-th order statistic) always returns an observed value,
+    which keeps small windows honest — no interpolation between two
+    outliers.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = min(max(1, math.ceil(len(sorted_values) * fraction)),
+               len(sorted_values))
+    return float(sorted_values[rank - 1])
+
+
+class ServeTelemetry:
+    """Thread-safe request counters + latency window for one daemon."""
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW) -> None:
+        """``latency_window`` bounds the p50/p99 sample (ring buffer)."""
+        self._lock = threading.Lock()
+        self._latencies_ms: Deque[float] = deque(maxlen=latency_window)
+        self._by_verb: Dict[str, int] = {}
+        self._total = 0
+        self._errors = 0
+        self._protocol_errors = 0
+        self._queue_depth = 0
+        self._peak_queue_depth = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def enter_queue(self) -> None:
+        """A request was submitted to the worker pool."""
+        with self._lock:
+            self._queue_depth += 1
+            self._peak_queue_depth = max(self._peak_queue_depth,
+                                         self._queue_depth)
+
+    def exit_queue(self) -> None:
+        """A submitted request finished executing."""
+        with self._lock:
+            self._queue_depth -= 1
+
+    def count_protocol_error(self) -> None:
+        """A request line never reached a handler (bad JSON/verb/framing)."""
+        with self._lock:
+            self._protocol_errors += 1
+
+    def observe(self, verb: str, exit_code: int, elapsed_s: float) -> None:
+        """Record one completed request (including coalesced joiners —
+        each client-visible response counts once)."""
+        with self._lock:
+            self._total += 1
+            self._by_verb[verb] = self._by_verb.get(verb, 0) + 1
+            if exit_code != 0:
+                self._errors += 1
+            self._latencies_ms.append(elapsed_s * 1000.0)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self,
+                 coalesce: Optional[Dict[str, int]] = None,
+                 artifact_store: Optional[Dict[str, int]] = None,
+                 server: Optional[dict] = None) -> dict:
+        """One JSON-safe ``stats`` payload.
+
+        ``coalesce`` and ``artifact_store`` are the coalescer's and the
+        shared store's counter dictionaries; ``cache_hit_rate`` is derived
+        from the store (stage reuses / stage lookups).  ``server`` carries
+        static daemon facts (address, pool size) merged in verbatim.
+        """
+        with self._lock:
+            window = sorted(self._latencies_ms)
+            payload = {
+                "queue_depth": self._queue_depth,
+                "peak_queue_depth": self._peak_queue_depth,
+                "requests": {
+                    "total": self._total,
+                    "by_verb": dict(sorted(self._by_verb.items())),
+                    "errors": self._errors,
+                    "protocol_errors": self._protocol_errors,
+                },
+                "latency_ms": {
+                    "count": len(window),
+                    "p50": round(percentile_nearest_rank(window, 0.50), 3),
+                    "p99": round(percentile_nearest_rank(window, 0.99), 3),
+                    "max": round(window[-1], 3) if window else 0.0,
+                },
+                "uptime_s": round(time.monotonic() - self._started, 3),
+            }
+        if coalesce is not None:
+            payload["coalesce"] = dict(coalesce)
+        if artifact_store is not None:
+            store = dict(artifact_store)
+            payload["artifact_store"] = store
+            lookups = store.get("hits", 0) + store.get("misses", 0)
+            payload["cache_hit_rate"] = (
+                round(store.get("hits", 0) / lookups, 6) if lookups else 0.0)
+        if server is not None:
+            payload["server"] = dict(server)
+        return payload

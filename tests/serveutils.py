@@ -1,0 +1,150 @@
+"""In-process serve harness shared by the protocol/concurrency tests.
+
+The companion of ``faultutils.py`` for the service layer: it runs a real
+:class:`repro.serve.server.ReproServer` on a background-thread event loop
+(real sockets, real protocol bytes) while keeping the server *object*
+reachable, so tests can read the coalescer/telemetry state directly
+instead of polling through the wire — which is what makes the coalescing
+tests deterministic (wait until the server has *seen* N-1 joiners, then
+release the gated computation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.serve.client import ServeClient, parse_address
+from repro.serve.server import ReproServer
+
+
+class ServerHarness:
+    """A live in-process daemon: start on construction, ``stop()`` when done.
+
+    Attributes
+    ----------
+    server:
+        The running :class:`ReproServer` (inspect ``server.coalescer``,
+        ``server.telemetry``, ``server.store`` directly).
+    address:
+        The bound endpoint as a parsed client address.
+    """
+
+    def __init__(self, **server_kwargs) -> None:
+        """Start a daemon with ``ReproServer(**server_kwargs)`` (port 0 —
+        an ephemeral port — unless overridden) and wait until it listens."""
+        server_kwargs.setdefault("port", 0)
+        self.server = ReproServer(**server_kwargs)
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.run(ready=ready)),
+            name="serve-harness", daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        self.address = parse_address(self.server.address)
+
+    def client(self, timeout: float = 60.0) -> ServeClient:
+        """A new connected client for this daemon."""
+        return ServeClient(self.address, timeout=timeout)
+
+    def request(self, verb: str, args: Sequence[str] = (),
+                request_id: Any = None, timeout: float = 60.0) -> dict:
+        """One-shot request on a fresh connection."""
+        with self.client(timeout=timeout) as client:
+            return client.request(verb, args, request_id=request_id)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the daemon down and join its thread (idempotent)."""
+        self.server.request_shutdown()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server failed to stop within timeout")
+
+    def __enter__(self) -> "ServerHarness":
+        """Context-manager entry: the live harness."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: stop the daemon."""
+        self.stop()
+
+
+def raw_roundtrip(address, payload: bytes, timeout: float = 30.0,
+                  chunks: Optional[int] = None) -> bytes:
+    """Send raw bytes (optionally split into ``chunks`` separate writes,
+    to exercise partial reads) and return the first response line."""
+    import time
+
+    client = ServeClient(address, timeout=timeout)
+    try:
+        if chunks and chunks > 1:
+            step = max(1, len(payload) // chunks)
+            for start in range(0, len(payload), step):
+                client.send_raw(payload[start:start + step])
+                time.sleep(0.01)
+        else:
+            client.send_raw(payload)
+        return client.read_response_line()
+    finally:
+        client.close()
+
+
+def barrier_clients(address, n: int, verb: str, args: Sequence[str],
+                    timeout: float = 120.0,
+                    after_send: Optional[Callable[[int, ServeClient], None]]
+                    = None) -> List[Tuple[int, Optional[dict]]]:
+    """``n`` threads send the same request behind a barrier; returns
+    ``[(index, response-or-None)]`` in index order.
+
+    Every thread connects first, meets at the barrier, then sends —
+    maximizing in-flight overlap, in the spirit of
+    ``faultutils.race_writers``.  ``after_send(index, client)`` runs right
+    after a thread's request is written (before reading the response) —
+    e.g. to kill one client mid-coalesce; a thread whose response never
+    arrives reports ``None``.
+    """
+    barrier = threading.Barrier(n)
+    results: List[Tuple[int, Optional[dict]]] = [(i, None) for i in range(n)]
+
+    def worker(index: int) -> None:
+        client = ServeClient(address, timeout=timeout)
+        try:
+            barrier.wait(timeout=timeout)
+            payload = {"id": index, "verb": verb, "args": list(args)}
+            from repro.serve.protocol import encode_line
+
+            client.send_raw(encode_line(payload).encode("utf-8"))
+            if after_send is not None:
+                after_send(index, client)
+            line = client.read_response_line()
+            if line:
+                import json
+
+                results[index] = (index, json.loads(line.decode("utf-8")))
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+    return results
+
+
+def wait_until(predicate: Callable[[], bool], timeout: float = 30.0,
+               interval: float = 0.01, message: str = "condition") -> None:
+    """Poll ``predicate`` until true or fail loudly after ``timeout``."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out after {timeout}s waiting for {message}")

@@ -435,3 +435,138 @@ class TestCacheTmpMaintenanceCLI:
         stats = run_cli("cache", "stats", "--cache-dir",
                         str(tmp_path / "nope"))
         assert "Orphaned tmp    : 0" in stats.stdout
+
+
+@pytest.fixture(scope="module")
+def serve_daemon(tmp_path_factory):
+    """One ``repro serve`` subprocess shared by the byte-identity tests.
+
+    Yields the daemon's ``HOST:PORT`` address.  The server runs with the
+    repo root as cwd (like every other ``run_cli`` invocation) and its
+    own cache directory, so served sweep requests that name an explicit
+    ``--cache-dir`` behave exactly like the direct CLI.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=str(REPO_ROOT))
+    try:
+        line = proc.stdout.readline()
+        assert "repro-serve listening on " in line, line
+        address = line.rsplit(" ", 1)[-1].strip()
+        yield address
+    finally:
+        run_cli("client", "--connect", address, "shutdown", check=False)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=30)
+
+
+def run_client(address, *args, check=True):
+    """``repro client --connect <daemon> <verb> <args...>`` helper."""
+    return run_cli("client", "--connect", address, *args, check=check)
+
+
+class TestServeCLI:
+    """The served-response contract: byte-identical to the direct CLI."""
+
+    def test_ping_and_stats(self, serve_daemon):
+        ping = run_client(serve_daemon, "ping")
+        assert ping.stdout == "pong\n"
+        stats = run_client(serve_daemon, "stats")
+        payload = json.loads(stats.stdout)
+        assert payload["requests"]["total"] >= 1
+        assert payload["server"]["jobs"] == 2
+
+    def test_design_byte_identical_cold_and_warm(self, serve_daemon):
+        direct = run_cli("design", "--no-activity")
+        cold = run_client(serve_daemon, "design", "--no-activity")
+        warm = run_client(serve_daemon, "design", "--no-activity")
+        assert cold.stdout == direct.stdout
+        assert warm.stdout == direct.stdout
+        assert cold.returncode == warm.returncode == direct.returncode == 0
+        # The warm pass fed on the hot store: nonzero cache hit rate.
+        stats = json.loads(run_client(serve_daemon, "stats").stdout)
+        assert stats["cache_hit_rate"] > 0.0
+
+    def test_verify_byte_identical(self, serve_daemon):
+        direct = run_cli("verify", "--no-activity")
+        served = run_client(serve_daemon, "verify", "--no-activity")
+        assert served.stdout == direct.stdout
+        assert served.returncode == direct.returncode
+
+    def test_sweep_byte_identical_inline_and_pooled(self, serve_daemon,
+                                                    tmp_path):
+        base = ("sweep", "--output-bits", "12", "14", "--quiet")
+        direct = run_cli(*base, "--cache-dir", str(tmp_path / "cli-cache"))
+        inline = run_client(serve_daemon, *base, "--jobs", "1",
+                            "--cache-dir", str(tmp_path / "inline-cache"))
+        pooled = run_client(serve_daemon, *base, "--jobs", "2",
+                            "--executor", "thread",
+                            "--cache-dir", str(tmp_path / "pooled-cache"))
+        warm = run_client(serve_daemon, *base, "--jobs", "1",
+                          "--cache-dir", str(tmp_path / "inline-cache"))
+        assert inline.stdout == direct.stdout
+        assert pooled.stdout == direct.stdout
+        assert warm.stdout == direct.stdout
+        assert direct.returncode == inline.returncode == 0
+        assert pooled.returncode == warm.returncode == 0
+
+    def test_served_cli_error_matches_direct(self, serve_daemon):
+        direct = run_cli("design", "--sinc-orders-base", "four", check=False)
+        served = run_client(serve_daemon, "design", "--sinc-orders-base",
+                            "four", check=False)
+        assert direct.returncode == served.returncode == 2
+        assert served.stdout == direct.stdout
+        assert served.stderr == direct.stderr
+        assert "invalid sinc order split" in served.stderr
+
+
+class TestServeClientValidation:
+    """Argument/connection errors of the serve/client pair (exit 2)."""
+
+    def test_serve_rejects_bad_jobs(self):
+        proc = run_cli("serve", "--jobs", "0", check=False)
+        assert proc.returncode == 2
+        assert "--jobs must be at least 1" in proc.stderr
+
+    def test_serve_rejects_bad_port(self):
+        proc = run_cli("serve", "--port", "70000", check=False)
+        assert proc.returncode == 2
+        assert "--port must lie in [0, 65535]" in proc.stderr
+
+    def test_serve_rejects_bad_max_artifacts(self):
+        proc = run_cli("serve", "--max-artifacts", "0", check=False)
+        assert proc.returncode == 2
+        assert "--max-artifacts must be at least 1" in proc.stderr
+
+    def test_client_rejects_malformed_address(self):
+        proc = run_cli("client", "--connect", "not-an-address", "ping",
+                       check=False)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error: ")
+        assert "invalid address" in proc.stderr
+
+    def test_client_connection_refused_is_clean(self):
+        # Port 1 on localhost is essentially never listening.
+        proc = run_cli("client", "--connect", "127.0.0.1:1", "ping",
+                       check=False)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error: cannot reach server at ")
+
+    def test_client_rejects_connect_and_socket_together(self):
+        proc = run_cli("client", "--connect", "127.0.0.1:7411",
+                       "--socket", "/tmp/x.sock", "ping", check=False)
+        assert proc.returncode == 2
+        assert "mutually exclusive" in proc.stderr
+
+    def test_client_rejects_bad_timeout(self):
+        proc = run_cli("client", "--timeout", "0", "ping", check=False)
+        assert proc.returncode == 2
+        assert "--timeout must be positive" in proc.stderr

@@ -1,0 +1,165 @@
+"""Property-based interleaving tests for the serve coalescing layer.
+
+The :class:`~repro.serve.coalesce.Coalescer` is deliberately event-loop
+agnostic, so hypothesis can drive arbitrary interleavings of request
+arrival and completion synchronously: requests arrive for content-hash
+keys (the ``HEX_KEYS`` layout from ``test_explore_store``), in-flight
+computations complete in any order the strategy picks, and completed
+computations publish to a real on-disk
+:class:`~repro.explore.store.ArtifactCAS`.  Two invariants must hold for
+every interleaving:
+
+* **no starvation** — every request that ever arrived resolves with the
+  record for its key once all in-flight work completes;
+* **no double-publish** — the number of physical CAS ``put`` calls for a
+  key equals the number of *launches* for that key (joins never publish),
+  and never exceeds what single-flight allows: at most one in-flight
+  computation per key at any instant.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from faultutils import expected_record
+from repro.explore.store import ArtifactCAS
+from repro.serve.coalesce import Coalescer
+
+#: Same key layout the store's property tests use (content-hash-like).
+HEX_KEYS = st.text(alphabet="0123456789abcdef", min_size=3, max_size=64)
+
+
+class CountingCAS:
+    """An :class:`ArtifactCAS` wrapper counting physical publications."""
+
+    def __init__(self, directory):
+        """Wrap a CAS rooted at ``directory``."""
+        self.cas = ArtifactCAS(directory)
+        self.puts = {}
+
+    def put(self, key, record):
+        """Publish and count one physical write for ``key``."""
+        self.puts[key] = self.puts.get(key, 0) + 1
+        self.cas.put(key, record)
+
+    def get(self, key):
+        """Read back a published record."""
+        return self.cas.get(key)
+
+
+class _InFlight:
+    """One simulated in-flight computation: its key and subscribers."""
+
+    def __init__(self, key):
+        self.key = key
+        self.subscribers = []
+
+
+def _drive(arrivals, completion_choices):
+    """Run one interleaving; returns (coalescer, cas, resolved, max_inflight).
+
+    ``arrivals`` is the request sequence (keys, duplicates meaningful);
+    ``completion_choices`` decides, before each arrival, how many of the
+    currently in-flight computations to complete (oldest first).  All
+    remaining work is drained at the end — no interleaving may leave a
+    request unresolved.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        coalescer = Coalescer()
+        cas = CountingCAS(tmp)
+        inflight_order = []          # completion queue (keys)
+        entries = {}                 # key -> _InFlight
+        resolved = []                # (request_index, key, record)
+        launches = {}                # key -> launch count
+        max_inflight_per_key = {}    # key -> max simultaneous launches
+
+        def complete_oldest():
+            key = inflight_order.pop(0)
+            entry = entries.pop(key)
+            record = expected_record(key)
+            cas.put(key, record)     # the leader publishes exactly once
+            coalescer.release(key)
+            for request_index in entry.subscribers:
+                resolved.append((request_index, key, record))
+
+        for index, (key, n_complete) in enumerate(
+                zip(arrivals, completion_choices)):
+            for _ in range(min(n_complete, len(inflight_order))):
+                complete_oldest()
+
+            def launch(key=key):
+                launches[key] = launches.get(key, 0) + 1
+                entry = _InFlight(key)
+                entries[key] = entry
+                inflight_order.append(key)
+                return entry
+
+            entry, leader = coalescer.join(key, launch)
+            entry.subscribers.append(index)
+            # Single-flight: a join while in flight never launches.
+            live = sum(1 for k in inflight_order if k == key)
+            max_inflight_per_key[key] = max(
+                max_inflight_per_key.get(key, 0), live)
+
+        while inflight_order:          # drain: nothing may starve
+            complete_oldest()
+        # Read everything back while the store directory still exists.
+        published = {key: cas.get(key) for key in launches}
+        return (coalescer, cas.puts, published, resolved, launches,
+                max_inflight_per_key)
+
+
+class TestCoalescerInterleavings:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_no_starvation_and_no_double_publish(self, data):
+        pool = data.draw(st.lists(HEX_KEYS, min_size=1, max_size=4,
+                                  unique=True))
+        arrivals = data.draw(st.lists(st.sampled_from(pool), min_size=1,
+                                      max_size=24))
+        completion_choices = data.draw(st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=len(arrivals), max_size=len(arrivals)))
+
+        coalescer, puts, published, resolved, launches, max_inflight = \
+            _drive(arrivals, completion_choices)
+
+        # No starvation: every arrival resolved exactly once, with the
+        # correct record for its key.
+        assert sorted(index for index, _, _ in resolved) == \
+            list(range(len(arrivals)))
+        for index, key, record in resolved:
+            assert arrivals[index] == key
+            assert record == expected_record(key)
+
+        # No double-publish: one physical CAS write per launch, never
+        # more than one computation in flight per key, and the published
+        # bytes validate.
+        assert puts == launches
+        assert all(count == 1 for count in max_inflight.values())
+        for key in set(arrivals):
+            assert published[key] == expected_record(key)
+
+        # Conservation: every arrival either launched or joined, and
+        # nothing is left in flight.
+        stats = coalescer.stats()
+        assert stats["launched"] + stats["coalesced"] == len(arrivals)
+        assert stats["launched"] == sum(launches.values())
+        assert stats["in_flight"] == 0
+        assert coalescer.in_flight() == 0
+
+    @given(keys=st.lists(HEX_KEYS, min_size=1, max_size=8, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_all_distinct_keys_launch_and_release(self, keys):
+        coalescer = Coalescer()
+        for key in keys:
+            _, leader = coalescer.join(key, lambda key=key: key)
+            assert leader
+        assert coalescer.in_flight() == len(keys)
+        for key in keys:
+            coalescer.release(key)
+            coalescer.release(key)  # idempotent
+        assert coalescer.in_flight() == 0
+        assert coalescer.stats() == {"launched": len(keys), "coalesced": 0,
+                                     "in_flight": 0}

@@ -8,10 +8,12 @@ regression that loses a fast path entirely.
 
 Usage::
 
-    python tools/check_bench_floors.py [BENCH_DIR]
+    python tools/check_bench_floors.py [BENCH_DIR] [--only NAME ...]
 
-Exits 1 (listing every violation) if any floor is broken or an expected
-file is missing.
+``--only`` restricts the gate to the named benchmark(s) — the docs-job
+serve smoke runs just the service bench, while the tests job gates the
+full set.  Exits 1 (listing every violation) if any checked floor is
+broken or an expected file is missing.
 """
 
 from __future__ import annotations
@@ -47,13 +49,44 @@ FLOORS = {
         ("perturbed SNR population stays physical (40-100 dB)",
          lambda r: 40.0 <= r["snr_min_db"] <= r["snr_max_db"] <= 100.0),
     ],
+    "serve_throughput": [
+        ("served responses are byte-identical (cold, hot, across clients)",
+         lambda r: r["responses_identical"] is True),
+        ("concurrent identical requests coalesced at least once",
+         lambda r: r["coalesced"] >= 1),
+        ("hot replay against the resident store is at least 1.5x faster",
+         lambda r: r["hot_speedup"] >= 1.5),
+        ("hot store serves a nonzero artifact cache hit rate",
+         lambda r: r["cache_hit_rate"] > 0.0),
+        ("slowest cold pass finishes within 120 s",
+         lambda r: r["cold_s_max"] <= 120.0),
+    ],
 }
 
 
 def main(argv):
-    bench_dir = argv[1] if len(argv) > 1 else "."
+    positional = []
+    only = []
+    rest = list(argv[1:])
+    while rest:
+        arg = rest.pop(0)
+        if arg == "--only":
+            if not rest:
+                print("error: --only requires a benchmark name",
+                      file=sys.stderr)
+                return 2
+            only.append(rest.pop(0))
+        else:
+            positional.append(arg)
+    bench_dir = positional[0] if positional else "."
+    unknown = [name for name in only if name not in FLOORS]
+    if unknown:
+        print(f"error: unknown benchmark(s): {', '.join(unknown)} "
+              f"(known: {', '.join(sorted(FLOORS))})", file=sys.stderr)
+        return 2
+    selected = {name: FLOORS[name] for name in only} if only else FLOORS
     failures = []
-    for name, checks in FLOORS.items():
+    for name, checks in selected.items():
         path = os.path.join(bench_dir, f"BENCH_{name}.json")
         if not os.path.exists(path):
             failures.append(f"{name}: missing {path}")
