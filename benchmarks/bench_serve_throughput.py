@@ -9,6 +9,15 @@ hit rate, and whether every response (cold, hot, across clients) carried
 byte-identical stdout, and emits ``BENCH_serve_throughput.json`` for the
 CI floor gate (``tools/check_bench_floors.py``).
 
+A second phase overloads a deliberately tiny daemon (``--jobs 1
+--max-queue 1``) with ``k`` *retrying* clients on distinct coalescing
+keys, recording the shed count, the post-retry success rate (the PR 8
+contract: 100% — every shed request is recovered by backoff), the
+queue-wait p99, and whether a SIGTERM then drains the daemon to a clean
+exit 0.  The overload phase always spawns its own constrained daemon,
+even in ``--connect`` mode: shedding a shared daemon would perturb the
+replay half.
+
 Runs three ways:
 
 * ``python -m pytest benchmarks/bench_serve_throughput.py -s`` — the CI
@@ -24,6 +33,7 @@ from __future__ import annotations
 import argparse
 import os
 import re
+import signal
 import subprocess
 import sys
 import threading
@@ -75,7 +85,7 @@ def _stats(address):
     return call(address, "stats")["stats"]
 
 
-def _spawn_server(jobs=4):
+def _spawn_server(jobs=4, extra_args=()):
     """Start a ``repro serve`` subprocess on an ephemeral port; returns
     ``(process, parsed_address)``."""
     from repro.serve.client import parse_address
@@ -86,7 +96,7 @@ def _spawn_server(jobs=4):
     env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--jobs", str(jobs)],
+         "--jobs", str(jobs)] + list(extra_args),
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
     line = process.stdout.readline()
     match = re.search(r"listening on (\S+)", line)
@@ -126,6 +136,67 @@ def _bench_one(address, k, rounds):
     }
 
 
+def _overload_phase(k=4, rounds=3, retries=20):
+    """Shed-and-recover under deliberate overload.
+
+    Spawns a constrained daemon (``--jobs 1 --max-queue 1`` — admission
+    capacity 2) and slams it with ``k`` retrying clients, every request a
+    *distinct* coalescing key at identical cost (``--snr-samples`` is
+    ignored without ``--snr`` but changes the content hash, so nothing
+    coalesces away).  Returns the overload record: shed count, post-retry
+    success rate, queue-wait p99, and whether SIGTERM drained the daemon
+    to exit 0.
+    """
+    from repro.serve.client import ServeClient
+
+    process, address = _spawn_server(jobs=1, extra_args=["--max-queue", "1"])
+    barrier = threading.Barrier(k + 1)
+    succeeded = [[False] * rounds for _ in range(k)]
+
+    def worker(index):
+        with ServeClient(address, timeout=600.0, retries=retries,
+                         backoff_base_s=0.05, backoff_cap_s=0.5) as client:
+            barrier.wait(timeout=600)
+            for round_index in range(rounds):
+                args = ["--no-activity", "--snr-samples",
+                        str(4096 + index * rounds + round_index)]
+                response = client.request(
+                    "design", args, request_id=f"ovl-{index}-{round_index}")
+                succeeded[index][round_index] = \
+                    response.get("exit_code") == 0
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(k)]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=600)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - started
+
+    stats = _stats(address)
+    process.send_signal(signal.SIGTERM)
+    try:
+        clean_exit = process.wait(timeout=120) == 0
+    except subprocess.TimeoutExpired:
+        process.kill()
+        clean_exit = False
+
+    requests = k * rounds
+    ok = sum(1 for client in succeeded for flag in client if flag)
+    return {
+        "clients": k,
+        "requests": requests,
+        "succeeded": ok,
+        "retry_success_rate": round(ok / requests, 4),
+        "shed": stats["resilience"]["shed"],
+        "queue_wait_p99_ms": stats["queue_wait_ms"]["p99"],
+        "elapsed_s": round(elapsed, 4),
+        "drain_clean_exit": clean_exit,
+    }
+
+
 def run_benchmark(connect=None, clients=(1, 2, 4), rounds=3, jobs=4):
     """Run the full curve and emit ``BENCH_serve_throughput.json``;
     returns the emitted payload."""
@@ -147,6 +218,8 @@ def run_benchmark(connect=None, clients=(1, 2, 4), rounds=3, jobs=4):
                 call(address, "shutdown")
                 process.wait(timeout=60)
 
+    overload = _overload_phase()
+
     payload = {
         "mode": "connect" if connect is not None else "spawn",
         "rounds": rounds,
@@ -157,6 +230,7 @@ def run_benchmark(connect=None, clients=(1, 2, 4), rounds=3, jobs=4):
         "cache_hit_rate": final_stats["cache_hit_rate"],
         "hot_speedup": max(e["hot_speedup"] for e in curve),
         "cold_s_max": max(e["cold_s"] for e in curve),
+        "overload": overload,
     }
     print_series(
         "Design service — cold vs hot throughput",
@@ -166,6 +240,11 @@ def run_benchmark(connect=None, clients=(1, 2, 4), rounds=3, jobs=4):
     print(f"responses identical: {payload['responses_identical']}, "
           f"coalesced total: {payload['coalesced']}, "
           f"cache hit rate: {payload['cache_hit_rate']:.3f}")
+    print(f"overload: {overload['shed']} shed of {overload['requests']} "
+          f"requests at {overload['clients']} clients, "
+          f"retry success {overload['retry_success_rate']:.0%}, "
+          f"queue-wait p99 {overload['queue_wait_p99_ms']:.1f} ms, "
+          f"clean drain exit: {overload['drain_clean_exit']}")
     emit_json("serve_throughput", payload)
     return payload
 
@@ -176,6 +255,9 @@ def test_serve_throughput():
     assert payload["responses_identical"] is True
     assert payload["coalesced"] >= 1
     assert payload["cache_hit_rate"] > 0.0
+    assert payload["overload"]["shed"] >= 1
+    assert payload["overload"]["retry_success_rate"] == 1.0
+    assert payload["overload"]["drain_clean_exit"] is True
 
 
 def main(argv=None):

@@ -406,6 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-memory artifact store entry cap; least-"
                             "recently-used stages are evicted beyond it "
                             "(default: 4096)")
+    serve.add_argument("--max-queue", type=int, default=128,
+                       help="bounded admission queue: requests beyond "
+                            "jobs + MAX_QUEUE in flight are shed with an "
+                            "'overloaded' envelope; -1 disables shedding "
+                            "(default: 128)")
+    serve.add_argument("--drain-grace-s", type=float, default=30.0,
+                       help="graceful-drain window: how long SIGTERM/"
+                            "SIGINT or the 'drain' verb waits for "
+                            "in-flight work before exiting (default: 30)")
+    serve.add_argument("--write-timeout-s", type=float, default=30.0,
+                       help="per-response write budget; a client that "
+                            "stops reading loses its connection, not a "
+                            "worker (default: 30)")
 
     client = sub.add_parser(
         "client", help="send one request to a running 'repro serve' daemon")
@@ -416,11 +429,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="connect to a UNIX socket instead of TCP")
     client.add_argument("--timeout", type=float, default=600.0,
                         help="response timeout in seconds (default: 600)")
+    client.add_argument("--retries", type=int, default=0,
+                        help="retry idempotent verbs up to N times on "
+                             "connection failures and overloaded/draining "
+                             "responses, with capped full-jitter backoff "
+                             "(default: 0)")
+    client.add_argument("--deadline-ms", type=int, default=None,
+                        metavar="MS",
+                        help="server-side response deadline: the daemon "
+                             "answers with a 'deadline' error if the "
+                             "request cannot finish in time (default: "
+                             "none)")
     client.add_argument("verb", metavar="VERB",
                         help="request verb: a repro subcommand (design, "
                              "verify, sweep, scenario, robustness, report, "
                              "cache) or a service verb (ping, stats, "
-                             "shutdown)")
+                             "health, drain, shutdown)")
     client.add_argument("args", nargs=argparse.REMAINDER, metavar="ARGS",
                         help="arguments forwarded verbatim to the verb")
     return parser
@@ -943,6 +967,15 @@ def _cmd_serve(args: argparse.Namespace, io: CommandIO) -> int:
     _require_positive(args.max_artifacts, "--max-artifacts")
     if args.port < 0 or args.port > 65535:
         raise CLIError(f"--port must lie in [0, 65535] (got {args.port})")
+    if args.max_queue < -1:
+        raise CLIError(f"--max-queue must be -1 (unbounded) or "
+                       f"non-negative (got {args.max_queue})")
+    if args.drain_grace_s < 0:
+        raise CLIError(f"--drain-grace-s must be non-negative "
+                       f"(got {args.drain_grace_s})")
+    if args.write_timeout_s <= 0:
+        raise CLIError(f"--write-timeout-s must be positive "
+                       f"(got {args.write_timeout_s})")
     server = ReproServer(
         host=args.host,
         port=args.port,
@@ -950,6 +983,9 @@ def _cmd_serve(args: argparse.Namespace, io: CommandIO) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         max_artifacts=args.max_artifacts,
+        max_queue=None if args.max_queue == -1 else args.max_queue,
+        drain_grace_s=args.drain_grace_s,
+        write_timeout_s=args.write_timeout_s,
     )
     try:
         return server.serve_forever(announce=io.out)
@@ -964,6 +1000,12 @@ def _cmd_client(args: argparse.Namespace, io: CommandIO) -> int:
         raise CLIError("--connect and --socket are mutually exclusive")
     if args.timeout <= 0:
         raise CLIError(f"--timeout must be positive (got {args.timeout})")
+    if args.retries < 0:
+        raise CLIError(f"--retries must be non-negative "
+                       f"(got {args.retries})")
+    if args.deadline_ms is not None and args.deadline_ms < 1:
+        raise CLIError(f"--deadline-ms must be a positive integer "
+                       f"(got {args.deadline_ms})")
     if args.socket is not None:
         text = f"unix:{args.socket}"
     else:
@@ -973,12 +1015,21 @@ def _cmd_client(args: argparse.Namespace, io: CommandIO) -> int:
         address = parse_address(text)
     except ValueError as exc:
         raise CLIError(str(exc))
+    # Every failure below maps to the CLI's one-line `error: ...` + exit 2
+    # convention — a refused connection, a response cut off mid-line, a
+    # socket timeout and a malformed response body must all be
+    # indistinguishable (in shape) from an argument error.
     try:
         response = call(address, args.verb, list(args.args),
-                        timeout=args.timeout)
+                        timeout=args.timeout, retries=args.retries,
+                        deadline_ms=args.deadline_ms)
     except ProtocolError as exc:
         raise CLIError(f"bad response from {address}: {exc}")
-    except (ConnectionError, TimeoutError, OSError) as exc:
+    except ConnectionRefusedError as exc:
+        raise CLIError(f"cannot reach server at {address}: {exc}")
+    except ConnectionError as exc:
+        raise CLIError(f"connection to {address} failed: {exc}")
+    except (TimeoutError, OSError) as exc:
         raise CLIError(f"cannot reach server at {address}: {exc}")
     # Relay the served command's streams verbatim: byte-identity with the
     # direct CLI invocation is the contract (pinned by tests/test_cli.py).

@@ -5,19 +5,53 @@ response line, in order — so a plain ``socket`` client is all a caller
 needs; no event loop, safe to drive from many threads with one
 :class:`ServeClient` each (the barrier harness in the concurrency tests
 and the traffic-generator benchmark do exactly that).
+
+With ``retries > 0`` the client becomes the daemon's resilience
+counterpart: capped exponential backoff with **full jitter**
+(:func:`backoff_delay_s`), honoring the server's ``retry_after_ms`` hint,
+retrying only :data:`~repro.serve.protocol.IDEMPOTENT_VERBS` and only on
+connection-level failures or the retryable ``overloaded``/``draining``
+envelopes — a command that *executed* and failed is never resent, and
+``shutdown``/``drain`` are never retried at all.  A connection-level
+retry reconnects (the daemon may have restarted behind the same address).
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
-from repro.serve.protocol import ProtocolError, encode_line
+from repro.serve.protocol import (IDEMPOTENT_VERBS, RETRYABLE_ERROR_KINDS,
+                                  ProtocolError, encode_line)
 
-__all__ = ["Address", "ProtocolError", "ServeClient", "call",
-           "parse_address"]
+__all__ = ["Address", "ProtocolError", "ServeClient", "backoff_delay_s",
+           "call", "parse_address"]
+
+
+def backoff_delay_s(attempt: int,
+                    base_s: float = 0.05,
+                    cap_s: float = 2.0,
+                    retry_after_ms: Optional[int] = None,
+                    rng: Optional[random.Random] = None) -> float:
+    """Capped exponential backoff with full jitter for retry ``attempt``.
+
+    The uncapped curve is ``base_s * 2**attempt``; the delay drawn is
+    uniform in ``[0, min(cap_s, curve)]`` (AWS-style full jitter — a
+    thundering herd of shed clients decorrelates instead of re-colliding).
+    A server ``retry_after_ms`` hint acts as a floor: never come back
+    sooner than the server asked.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be non-negative (got {attempt})")
+    draw = (rng or random).uniform
+    delay = draw(0.0, min(cap_s, base_s * (2.0 ** attempt)))
+    if retry_after_ms is not None:
+        delay = max(delay, retry_after_ms / 1000.0)
+    return delay
 
 
 @dataclass(frozen=True)
@@ -68,20 +102,67 @@ class ServeClient:
     """One persistent connection to a running daemon.
 
     Usable as a context manager; :meth:`request` blocks until the
-    response line arrives (or the socket timeout fires).
+    response line arrives (or the socket timeout fires).  With
+    ``retries > 0``, :meth:`request` transparently retries idempotent
+    verbs on connection-level failures and retryable error envelopes,
+    reconnecting as needed; ``sleep`` and ``rng`` are injectable for
+    deterministic tests.
     """
 
-    def __init__(self, address: Address, timeout: float = 600.0) -> None:
+    def __init__(self, address: Address, timeout: float = 600.0,
+                 retries: int = 0,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         """Connect to ``address`` with a per-operation ``timeout``."""
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative (got {retries})")
         self.address = address
-        if address.is_unix:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(address.path)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = rng
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        try:
+            self._connect()
+        except (ConnectionError, OSError):
+            # A retrying client tolerates a daemon that is still coming
+            # up (or restarting): the first request() attempt reconnects.
+            if self.retries == 0:
+                raise
+            self._teardown()
+
+    def _connect(self) -> None:
+        """(Re)establish the connection (drops any previous socket)."""
+        self._teardown()
+        if self.address.is_unix:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address.path)
         else:
-            self._sock = socket.create_connection(
-                (address.host, address.port), timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
+            sock = socket.create_connection(
+                (self.address.host, self.address.port), timeout=self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _teardown(self) -> None:
+        """Best-effort close of the current socket pair."""
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def send_raw(self, data: bytes) -> None:
         """Write raw bytes to the connection (protocol tests only)."""
@@ -91,20 +172,27 @@ class ServeClient:
         """Read one raw response line (empty at EOF)."""
         return self._rfile.readline()
 
-    def request(self, verb: str, args: Sequence[str] = (),
-                request_id: Any = None) -> dict:
-        """Send one request and return the decoded response envelope.
+    def _request_once(self, verb: str, args: Sequence[str],
+                      request_id: Any,
+                      deadline_ms: Optional[int]) -> dict:
+        """One send/receive round trip on the current connection.
 
         Raises :class:`ConnectionError` if the server closes without
-        answering and :class:`ProtocolError` (kind ``bad-response``) if
-        the response line is not a JSON object.
+        answering — or mid-response (a truncated line is a lost
+        connection, not a protocol violation) — and :class:`ProtocolError`
+        (kind ``bad-response``) if the response line is not a JSON object.
         """
-        payload = {"id": request_id, "verb": verb, "args": list(args)}
+        payload: dict = {"id": request_id, "verb": verb, "args": list(args)}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = int(deadline_ms)
         self.send_raw(encode_line(payload).encode("utf-8"))
         line = self.read_response_line()
         if not line:
             raise ConnectionError("server closed the connection "
                                   "without responding")
+        if not line.endswith(b"\n"):
+            raise ConnectionError("connection lost mid-response "
+                                  "(truncated line)")
         try:
             response = json.loads(line.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -117,12 +205,48 @@ class ServeClient:
                 f"got {type(response).__name__}")
         return response
 
+    def request(self, verb: str, args: Sequence[str] = (),
+                request_id: Any = None,
+                deadline_ms: Optional[int] = None) -> dict:
+        """Send one request and return the decoded response envelope.
+
+        With ``retries > 0`` and an idempotent ``verb``, connection-level
+        failures (refused, reset, EOF, timeout) and retryable envelopes
+        (``overloaded``/``draining``) are retried up to ``retries`` times
+        with full-jitter backoff, honoring the server's ``retry_after_ms``
+        hint; everything else — including executed-and-failed commands —
+        surfaces immediately.
+        """
+        attempts = 1 + (self.retries if verb in IDEMPOTENT_VERBS else 0)
+        for attempt in range(attempts):
+            final = attempt == attempts - 1
+            try:
+                if self._sock is None:
+                    self._connect()
+                response = self._request_once(verb, args, request_id,
+                                              deadline_ms)
+            except (ConnectionError, TimeoutError, OSError):
+                self._teardown()
+                if final:
+                    raise
+                self._sleep(backoff_delay_s(
+                    attempt, self.backoff_base_s, self.backoff_cap_s,
+                    rng=self._rng))
+                continue
+            error = response.get("error")
+            kind = error.get("kind") if isinstance(error, dict) else None
+            if kind in RETRYABLE_ERROR_KINDS and not final:
+                self._sleep(backoff_delay_s(
+                    attempt, self.backoff_base_s, self.backoff_cap_s,
+                    retry_after_ms=error.get("retry_after_ms"),
+                    rng=self._rng))
+                continue
+            return response
+        return response  # pragma: no cover - loop always returns/raises
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        try:
-            self._rfile.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServeClient":
         """Context-manager entry: the connected client."""
@@ -134,8 +258,10 @@ class ServeClient:
 
 
 def call(address: Address, verb: str, args: Sequence[str] = (),
-         timeout: float = 600.0, request_id: Any = None) -> dict:
+         timeout: float = 600.0, request_id: Any = None,
+         retries: int = 0, deadline_ms: Optional[int] = None) -> dict:
     """One-shot convenience: connect, send one request, return the
     response envelope, close (what ``repro client`` uses)."""
-    with ServeClient(address, timeout=timeout) as client:
-        return client.request(verb, args, request_id=request_id)
+    with ServeClient(address, timeout=timeout, retries=retries) as client:
+        return client.request(verb, args, request_id=request_id,
+                              deadline_ms=deadline_ms)

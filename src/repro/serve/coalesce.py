@@ -57,6 +57,13 @@ class Coalescer:
             self.launched += 1
             return entry, True
 
+    def peek(self, key: str) -> Any:
+        """The in-flight entry for ``key`` (``None`` when idle) — what
+        admission control checks: joining an in-flight computation adds no
+        work, so it is never shed."""
+        with self._lock:
+            return self._inflight.get(key)
+
     def release(self, key: str) -> None:
         """Retire a completed key: the next request for it launches anew
         (idempotent — releasing an idle key is a no-op)."""

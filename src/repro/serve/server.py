@@ -23,6 +23,21 @@ wraps the async :meth:`ReproServer.run`; tests run the latter on a
 background-thread event loop and stop it with
 :meth:`ReproServer.request_shutdown` (thread-safe), or clients send the
 ``shutdown`` verb.
+
+Resilience (PR 8): the daemon **drains gracefully** — SIGTERM/SIGINT (or
+the ``drain`` verb) stops the listener, answers new command requests on
+surviving connections with a ``draining`` envelope, lets in-flight work
+(including shielded coalesced computations and their response writes)
+finish within ``drain_grace_s``, then exits 0.  Admission is **bounded**:
+at most ``jobs + max_queue`` computations may be in flight; beyond that,
+requests that would launch new work are shed with an ``overloaded``
+envelope carrying a ``retry_after_ms`` hint (joins of in-flight keys add
+no work and are never shed).  A request's ``deadline_ms`` is enforced
+here: when the budget expires before the response, the waiter gets a
+``deadline`` envelope while the shared computation runs on — abandoning a
+waiter never tears down work under survivors or poisons the warm store.
+Stalled readers cannot pin the daemon: response writes time out after
+``write_timeout_s`` and drop only that connection.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ import asyncio
 import contextlib
 import io
 import os
+import signal as signal_module
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -99,6 +115,16 @@ class ReproServer:
     max_line_bytes:
         Per-request line limit; longer lines get an ``oversized`` error
         envelope and the connection closes (framing is lost).
+    max_queue:
+        Bounded admission queue: at most ``jobs + max_queue`` computations
+        in flight; requests that would launch beyond that are shed with an
+        ``overloaded`` envelope.  ``None`` disables shedding (unbounded).
+    drain_grace_s:
+        How long a drain (SIGTERM/SIGINT/``drain`` verb) waits for
+        in-flight work and response writes before exiting anyway.
+    write_timeout_s:
+        Per-response write budget; a client that stops reading long enough
+        to fill its socket buffer loses the connection, not a worker.
     """
 
     def __init__(self,
@@ -108,15 +134,30 @@ class ReproServer:
                  jobs: int = 4,
                  cache_dir: Optional[str] = None,
                  max_artifacts: Optional[int] = 4096,
-                 max_line_bytes: int = MAX_LINE_BYTES) -> None:
+                 max_line_bytes: int = MAX_LINE_BYTES,
+                 max_queue: Optional[int] = 128,
+                 drain_grace_s: float = 30.0,
+                 write_timeout_s: float = 30.0) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1 (got {jobs})")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative or None "
+                             f"(got {max_queue})")
+        if drain_grace_s < 0:
+            raise ValueError(f"drain_grace_s must be non-negative "
+                             f"(got {drain_grace_s})")
+        if write_timeout_s <= 0:
+            raise ValueError(f"write_timeout_s must be positive "
+                             f"(got {write_timeout_s})")
         self.host = host
         self.port = int(port)
         self.unix_path = unix_path
         self.jobs = int(jobs)
         self.cache_dir = cache_dir
         self.max_line_bytes = int(max_line_bytes)
+        self.max_queue = None if max_queue is None else int(max_queue)
+        self.drain_grace_s = float(drain_grace_s)
+        self.write_timeout_s = float(write_timeout_s)
         #: The hot shared store: every request's flow stages memoize here.
         self.store = ArtifactStore(max_entries=max_artifacts)
         self.coalescer = Coalescer()
@@ -127,6 +168,10 @@ class ReproServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._shutdown_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._drain_task: Optional[asyncio.Task] = None
+        self._writes_pending = 0
+        self._installed_signals: List[int] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -162,7 +207,12 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
         if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+            # wait=False: by teardown, in-flight work has either finished
+            # (a clean drain waits for it first) or is being deliberately
+            # abandoned (drain-grace expiry, shutdown verb) — blocking the
+            # loop on a wedged worker here would turn "exit anyway" into
+            # a hang.
+            self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         if self.unix_path is not None:
             with contextlib.suppress(OSError):
@@ -173,7 +223,68 @@ class ReproServer:
         loop, event = self._loop, self._shutdown_event
         if loop is None or event is None:
             return
-        loop.call_soon_threadsafe(event.set)
+        with contextlib.suppress(RuntimeError):   # loop already closed
+            loop.call_soon_threadsafe(event.set)
+
+    def request_drain(self) -> None:
+        """Ask the daemon to drain gracefully (thread-safe; idempotent):
+        stop accepting connections, finish in-flight work within the grace
+        window, then exit."""
+        loop = self._loop
+        if loop is None:
+            return
+        with contextlib.suppress(RuntimeError):   # loop already closed
+            loop.call_soon_threadsafe(self._begin_drain)
+
+    @property
+    def draining(self) -> bool:
+        """Whether the drain lifecycle has begun (one-way)."""
+        return self._draining
+
+    def _begin_drain(self) -> None:
+        """Enter the drain lifecycle (event-loop thread; idempotent)."""
+        if self._draining or self._shutdown_event is None:
+            return
+        self._draining = True
+        self.telemetry.mark_draining()
+        # Close the listener here, not in the drain task: once `draining`
+        # is observable, new connections must already be refused — a task
+        # scheduled later would leave a window where both are true.
+        if self._server is not None:
+            self._server.close()
+        self._drain_task = self._loop.create_task(self._drain_and_exit())
+
+    async def _drain_and_exit(self) -> None:
+        """The drain body: wait for the closed listener, wait out in-flight
+        work and pending response writes (bounded by ``drain_grace_s``),
+        exit."""
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + self.drain_grace_s
+        while time.monotonic() < deadline:
+            if self.coalescer.in_flight() == 0 and self._writes_pending == 0:
+                break
+            await asyncio.sleep(0.02)
+        self._shutdown_event.set()
+
+    def _install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into the drain lifecycle (best-effort:
+        only available on the main thread — test harnesses running the
+        loop on a background thread fall back to :meth:`request_drain`)."""
+        for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue
+            self._installed_signals.append(signum)
+
+    def _remove_signal_handlers(self) -> None:
+        """Undo :meth:`_install_signal_handlers` (idempotent)."""
+        while self._installed_signals:
+            signum = self._installed_signals.pop()
+            with contextlib.suppress(Exception):
+                self._loop.remove_signal_handler(signum)
 
     async def run(self,
                   announce: Optional[Callable[[str], None]] = None,
@@ -183,16 +294,23 @@ class ReproServer:
         ``announce`` receives one parseable line
         (``repro-serve listening on <address>``) once the socket is
         bound; ``ready`` is set at the same moment (for in-process test
-        harnesses waiting on a background-thread loop).
+        harnesses waiting on a background-thread loop).  SIGTERM/SIGINT
+        trigger a graceful drain where the platform allows installing
+        loop signal handlers (the CLI path).
         """
         await self.start()
+        self._install_signal_handlers()
         try:
             if announce is not None:
                 announce(f"repro-serve listening on {self.address}")
             if ready is not None:
                 ready.set()
             await self._shutdown_event.wait()
+            if self._drain_task is not None:
+                with contextlib.suppress(Exception):
+                    await self._drain_task
         finally:
+            self._remove_signal_handlers()
             await self.close()
         return 0
 
@@ -249,7 +367,8 @@ class ReproServer:
                 if not line.strip():
                     continue
                 response = await self._handle_line(line)
-                await self._send(writer, response)
+                if not await self._send(writer, response):
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -258,15 +377,34 @@ class ReproServer:
                 await writer.wait_closed()
 
     async def _send(self, writer: asyncio.StreamWriter,
-                    response: dict) -> None:
-        writer.write(encode_line(response).encode("utf-8"))
-        await writer.drain()
+                    response: dict) -> bool:
+        """Write one response line; returns False when the client stalled
+        past ``write_timeout_s`` (the connection is then abandoned so a
+        slow reader never pins the daemon — or its drain).  The pending
+        counter keeps drain from exiting between a computation finishing
+        and its response bytes reaching the socket."""
+        self._writes_pending += 1
+        try:
+            writer.write(encode_line(response).encode("utf-8"))
+            await asyncio.wait_for(writer.drain(), self.write_timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            self.telemetry.count_write_timeout()
+            return False
+        finally:
+            self._writes_pending -= 1
 
     async def _handle_line(self, line: bytes) -> dict:
-        """Parse and dispatch one request line; never raises."""
+        """Parse and dispatch one request line; never raises.
+
+        Control verbs (``ping``/``stats``/``health``/``drain``/
+        ``shutdown``) are answered on the event loop — never queued behind
+        command work, so a balancer's health probe stays cheap however
+        deep the pool's backlog runs.
+        """
         started = time.perf_counter()
         try:
-            request_id, verb, args = parse_request(line)
+            request_id, verb, args, deadline_ms = parse_request(line)
         except ProtocolError as exc:
             self.telemetry.count_protocol_error()
             return error_envelope(None if exc.kind == "bad-json" else
@@ -283,13 +421,32 @@ class ReproServer:
                         "stdout": _json.dumps(snapshot, indent=2,
                                               sort_keys=True) + "\n",
                         "stderr": "", "coalesced": False, "stats": snapshot}
+        elif verb == "health":
+            health = self.health_snapshot()
+            import json as _json
+
+            response = {"id": request_id, "ok": True, "exit_code": 0,
+                        "stdout": _json.dumps(health, sort_keys=True) + "\n",
+                        "stderr": "", "coalesced": False, "health": health}
+        elif verb == "drain":
+            response = {"id": request_id, "ok": True, "exit_code": 0,
+                        "stdout": "draining\n", "stderr": "",
+                        "coalesced": False}
+            self._begin_drain()
         elif verb == "shutdown":
             response = {"id": request_id, "ok": True, "exit_code": 0,
                         "stdout": "shutting down\n", "stderr": "",
                         "coalesced": False}
             self._shutdown_event.set()
+        elif self._draining:
+            self.telemetry.count_draining_rejection()
+            response = error_envelope(
+                request_id, "draining",
+                "server is draining and no longer accepts command "
+                "requests; retry against another instance")
         else:
-            response = await self._execute(request_id, verb, args)
+            response = await self._execute(request_id, verb, args,
+                                           deadline_ms)
         self.telemetry.observe(verb, int(response.get("exit_code", 2)),
                                time.perf_counter() - started)
         return response
@@ -326,12 +483,44 @@ class ReproServer:
             return argv
         return argv + ["--cache-dir", self.cache_dir]
 
-    async def _execute(self, request_id: Any, verb: str,
-                       args: List[str]) -> dict:
-        """Run (or join) one command request and build its response."""
+    def _capacity(self) -> Optional[int]:
+        """Admission ceiling: executing + queued computations allowed in
+        flight (``None`` = unbounded)."""
+        if self.max_queue is None:
+            return None
+        return self.jobs + self.max_queue
+
+    def _retry_after_ms(self) -> int:
+        """The ``overloaded`` hint: roughly what one queue slot is worth
+        right now (recent p50 latency, floored at 50 ms so a cold daemon
+        with an empty window still spreads retries out)."""
+        return max(50, int(self.telemetry.recent_p50_ms()))
+
+    async def _execute(self, request_id: Any, verb: str, args: List[str],
+                       deadline_ms: Optional[int] = None) -> dict:
+        """Run (or join) one command request and build its response.
+
+        Admission control happens here: joining a computation already in
+        flight is free and always admitted; launching a new one is shed
+        with ``overloaded`` once ``jobs + max_queue`` are in flight.  The
+        check-then-join pair runs without an intervening await, so the
+        event loop cannot interleave another admission decision between
+        them.
+        """
         argv = self._effective_argv(verb, args)
         key = request_key(argv[0], argv[1:])
         loop = asyncio.get_running_loop()
+
+        capacity = self._capacity()
+        if (capacity is not None and self.coalescer.peek(key) is None
+                and self.coalescer.in_flight() >= capacity):
+            self.telemetry.count_shed()
+            hint = self._retry_after_ms()
+            return error_envelope(
+                request_id, "overloaded",
+                f"admission queue is full ({self.coalescer.in_flight()} "
+                f"in flight, capacity {capacity}); retry after "
+                f"{hint} ms", detail={"retry_after_ms": hint})
 
         def launch() -> asyncio.Task:
             # An independent task (not this connection's coroutine): the
@@ -341,7 +530,21 @@ class ReproServer:
             return task
 
         task, leader = self.coalescer.join(key, launch)
-        result = await asyncio.shield(task)
+        if deadline_ms is None:
+            result = await asyncio.shield(task)
+        else:
+            try:
+                result = await asyncio.wait_for(asyncio.shield(task),
+                                                deadline_ms / 1000.0)
+            except asyncio.TimeoutError:
+                # Abandon this waiter only: the shielded computation keeps
+                # running (survivors still get it, and its result warms
+                # the store for the client's retry).
+                self.telemetry.count_deadline_timeout()
+                return error_envelope(
+                    request_id, "deadline",
+                    f"request exceeded its {deadline_ms} ms deadline",
+                    detail={"deadline_ms": deadline_ms})
         return {"id": request_id, "ok": result["exit_code"] == 0,
                 "exit_code": result["exit_code"],
                 "stdout": result["stdout"], "stderr": result["stderr"],
@@ -350,16 +553,22 @@ class ReproServer:
     async def _run_command_task(self, argv: List[str]) -> dict:
         """The shared per-key computation: one pool slot, one CLI run."""
         self.telemetry.enter_queue()
+        submitted = time.perf_counter()
         try:
             return await self._loop.run_in_executor(
-                self._pool, self._run_blocking, argv)
+                self._pool, self._run_blocking, argv, submitted)
         finally:
             self.telemetry.exit_queue()
 
-    def _run_blocking(self, argv: List[str]) -> dict:
+    def _run_blocking(self, argv: List[str],
+                      submitted: Optional[float] = None) -> dict:
         """Worker-thread body: ride the standard payload harness with the
         hot shared store (inline, one payload — the service's concurrency
-        lives in the pool, not inside a request)."""
+        lives in the pool, not inside a request).  ``submitted`` is the
+        event-loop submission instant, so the first thing a worker does is
+        publish how long the request sat queued."""
+        if submitted is not None:
+            self.telemetry.observe_queue_wait(time.perf_counter() - submitted)
         from repro.explore.runner import execute_payloads
 
         records, _mode, _store = execute_payloads(
@@ -379,5 +588,22 @@ class ReproServer:
             coalesce=self.coalescer.stats(),
             artifact_store=store_stats,
             server={"address": self.address, "jobs": self.jobs,
-                    "cache_dir": self.cache_dir},
+                    "cache_dir": self.cache_dir,
+                    "max_queue": self.max_queue,
+                    "drain_grace_s": self.drain_grace_s},
         )
+
+    def health_snapshot(self) -> dict:
+        """The ``health`` verb payload: cheap enough for a balancer probe
+        on every routing decision (no store scan, no latency sort)."""
+        inflight = self.coalescer.in_flight()
+        capacity = self._capacity()
+        if self._draining:
+            status = "draining"
+        elif capacity is not None and inflight >= capacity:
+            status = "overloaded"
+        else:
+            status = "ok"
+        return {"status": status,
+                "uptime_s": round(self.telemetry.uptime_s(), 3),
+                "inflight": inflight}

@@ -7,6 +7,13 @@ per-verb request counts, error counts, and a bounded latency window from
 which the ``stats`` verb derives p50/p99 (nearest-rank over the most
 recent :data:`LATENCY_WINDOW` requests — a ring buffer, so a long-running
 daemon reports recent behavior, not its lifetime average).
+
+The resilience layer (PR 8) adds its own accounting: shed requests
+(admission queue full), deadline timeouts, requests refused during drain,
+slow-client write timeouts, and a second ring of *queue-wait* samples —
+the time between a request's submission to the worker pool and the start
+of its execution — whose p50/p99 expose backpressure building up before
+latency does.
 """
 
 from __future__ import annotations
@@ -46,12 +53,18 @@ class ServeTelemetry:
         """``latency_window`` bounds the p50/p99 sample (ring buffer)."""
         self._lock = threading.Lock()
         self._latencies_ms: Deque[float] = deque(maxlen=latency_window)
+        self._queue_waits_ms: Deque[float] = deque(maxlen=latency_window)
         self._by_verb: Dict[str, int] = {}
         self._total = 0
         self._errors = 0
         self._protocol_errors = 0
         self._queue_depth = 0
         self._peak_queue_depth = 0
+        self._shed = 0
+        self._deadline_timeouts = 0
+        self._draining_rejections = 0
+        self._write_timeouts = 0
+        self._draining = False
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -73,6 +86,47 @@ class ServeTelemetry:
         """A request line never reached a handler (bad JSON/verb/framing)."""
         with self._lock:
             self._protocol_errors += 1
+
+    def count_shed(self) -> None:
+        """A request was refused at admission (queue full, ``overloaded``)."""
+        with self._lock:
+            self._shed += 1
+
+    def count_deadline_timeout(self) -> None:
+        """A request's ``deadline_ms`` budget expired before its response."""
+        with self._lock:
+            self._deadline_timeouts += 1
+
+    def count_draining_rejection(self) -> None:
+        """A command request was refused because the daemon is draining."""
+        with self._lock:
+            self._draining_rejections += 1
+
+    def count_write_timeout(self) -> None:
+        """A stalled client's response write timed out (connection dropped)."""
+        with self._lock:
+            self._write_timeouts += 1
+
+    def mark_draining(self) -> None:
+        """The daemon entered its drain lifecycle (one-way)."""
+        with self._lock:
+            self._draining = True
+
+    def observe_queue_wait(self, waited_s: float) -> None:
+        """Record one request's pool submission-to-execution wait."""
+        with self._lock:
+            self._queue_waits_ms.append(waited_s * 1000.0)
+
+    def uptime_s(self) -> float:
+        """Seconds since this daemon's telemetry began (daemon start)."""
+        return time.monotonic() - self._started
+
+    def recent_p50_ms(self) -> float:
+        """Nearest-rank p50 of the latency window (the ``retry_after_ms``
+        hint baseline — what one queue slot is currently worth)."""
+        with self._lock:
+            window = sorted(self._latencies_ms)
+        return percentile_nearest_rank(window, 0.50)
 
     def observe(self, verb: str, exit_code: int, elapsed_s: float) -> None:
         """Record one completed request (including coalesced joiners —
@@ -100,6 +154,7 @@ class ServeTelemetry:
         """
         with self._lock:
             window = sorted(self._latencies_ms)
+            waits = sorted(self._queue_waits_ms)
             payload = {
                 "queue_depth": self._queue_depth,
                 "peak_queue_depth": self._peak_queue_depth,
@@ -114,6 +169,19 @@ class ServeTelemetry:
                     "p50": round(percentile_nearest_rank(window, 0.50), 3),
                     "p99": round(percentile_nearest_rank(window, 0.99), 3),
                     "max": round(window[-1], 3) if window else 0.0,
+                },
+                "queue_wait_ms": {
+                    "count": len(waits),
+                    "p50": round(percentile_nearest_rank(waits, 0.50), 3),
+                    "p99": round(percentile_nearest_rank(waits, 0.99), 3),
+                    "max": round(waits[-1], 3) if waits else 0.0,
+                },
+                "resilience": {
+                    "shed": self._shed,
+                    "deadline_timeouts": self._deadline_timeouts,
+                    "draining_rejections": self._draining_rejections,
+                    "write_timeouts": self._write_timeouts,
+                    "draining": self._draining,
                 },
                 "uptime_s": round(time.monotonic() - self._started, 3),
             }

@@ -18,6 +18,14 @@ module provides the machinery the test suite uses to attack it:
 * :func:`expected_record` — the deterministic record each racing writer
   publishes for a key, so assertions can check for lost or torn records.
 
+PR 8 extends the harness to the serve daemon — the same philosophy, one
+layer up: :class:`ServeDaemon` runs a real ``repro serve`` subprocess
+(real signals, real sockets) so tests can SIGKILL it mid-request, SIGTERM
+it mid-coalesce, open slow-loris half-requests against it, or rip client
+connections out under load, then assert the operational contract: no torn
+CAS entries, drained connections still get their in-flight responses,
+and a restarted daemon serves byte-identical warm results.
+
 Everything here is deliberately process-based (``fork`` start method, the
 platform default on Linux) so the races and kills are real OS-level
 events, not monkeypatched approximations.
@@ -25,6 +33,7 @@ events, not monkeypatched approximations.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
@@ -211,6 +220,133 @@ def race_writers(root: Path, key_sets: Sequence[Sequence[str]],
     result = list(errors)
     manager.shutdown()
     return result
+
+
+# ----------------------------------------------------------------------
+# Serve-daemon fault injection: a killable real `repro serve` subprocess
+# ----------------------------------------------------------------------
+class ServeDaemon:
+    """A real ``repro serve`` subprocess the tests can signal at will.
+
+    Unlike ``serveutils.ServerHarness`` (in-process, introspectable), this
+    is the production artifact: its own interpreter, its own event loop,
+    killed and drained through actual OS signals.  ``extra_args`` are
+    appended to the serve argv (e.g. ``["--max-queue", "0"]``).
+    """
+
+    def __init__(self, cache_dir: Optional[Path] = None,
+                 jobs: int = 2, drain_grace_s: float = 30.0,
+                 extra_args: Sequence[str] = (),
+                 announce_timeout_s: float = 60.0) -> None:
+        """Spawn the daemon and wait for its announce line."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        argv = [sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--jobs", str(jobs), "--drain-grace-s", str(drain_grace_s)]
+        if cache_dir is not None:
+            argv += ["--cache-dir", str(cache_dir)]
+        argv += list(extra_args)
+        self.proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                                     stderr=subprocess.STDOUT, text=True,
+                                     env=env, cwd=str(REPO_ROOT))
+        deadline = time.monotonic() + announce_timeout_s
+        line = self.proc.stdout.readline()
+        if "listening on " not in line or time.monotonic() > deadline:
+            self.kill()
+            raise AssertionError(f"daemon failed to announce: {line!r}")
+        from repro.serve.client import parse_address
+
+        self.address = parse_address(line.rsplit(" ", 1)[-1].strip())
+
+    def client(self, timeout: float = 60.0, retries: int = 0):
+        """A new connected ``ServeClient`` for this daemon."""
+        from repro.serve.client import ServeClient
+
+        return ServeClient(self.address, timeout=timeout, retries=retries)
+
+    def request(self, verb: str, args: Sequence[str] = (),
+                timeout: float = 60.0, retries: int = 0) -> dict:
+        """One-shot request on a fresh connection."""
+        with self.client(timeout=timeout, retries=retries) as client:
+            return client.request(verb, args)
+
+    def signal(self, signum: int) -> None:
+        """Deliver ``signum`` to the daemon process."""
+        self.proc.send_signal(signum)
+
+    def sigkill(self) -> None:
+        """SIGKILL the daemon (no drain, no cleanup — the crash case)."""
+        self.proc.send_signal(signal.SIGKILL)
+
+    def sigterm(self) -> None:
+        """SIGTERM the daemon (the graceful-drain path)."""
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout_s: float = 60.0) -> int:
+        """Wait for exit; returns the exit code."""
+        return self.proc.wait(timeout=timeout_s)
+
+    def kill(self) -> None:
+        """Hard cleanup (idempotent): SIGKILL + reap."""
+        if self.proc.poll() is None:
+            self.proc.kill()
+            with contextlib.suppress(Exception):
+                self.proc.wait(timeout=30)
+
+    def __enter__(self) -> "ServeDaemon":
+        """Context-manager entry: the announced daemon."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: make sure the process is gone."""
+        self.kill()
+
+
+def send_partial_request(address, fraction: float = 0.5,
+                         verb: str = "ping", timeout: float = 60.0):
+    """Open a slow-loris connection: send only ``fraction`` of one request
+    line (never the newline) and return the open client.
+
+    The caller owns the socket — while it stays open the daemon must keep
+    serving other clients, and an unterminated line must never be
+    answered (the framing contract) even across a drain.
+    """
+    from repro.serve.client import ServeClient
+    from repro.serve.protocol import encode_line
+
+    payload = encode_line({"id": "loris", "verb": verb}).encode("utf-8")
+    cut = max(1, min(len(payload) - 1, int(len(payload) * fraction)))
+    client = ServeClient(address, timeout=timeout)
+    client.send_raw(payload[:cut])
+    return client
+
+
+def assert_cas_integrity(root: Path) -> int:
+    """Assert every *published* entry under a CAS root parses as valid
+    JSON with the current schema; returns the number of entries checked.
+
+    Orphaned ``*.tmp`` files are legal debris of a killed writer; a
+    torn/truncated/garbage ``.json`` entry is a contract violation.
+    """
+    from repro.explore.store import CACHE_SCHEMA_VERSION
+
+    root = Path(root)
+    checked = 0
+    for path in sorted(root.rglob("*.json")):
+        data = path.read_bytes()
+        try:
+            entry = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise AssertionError(f"torn CAS entry {path}: {exc}")
+        if not isinstance(entry, dict) or "record" not in entry:
+            raise AssertionError(f"malformed CAS entry {path}: {entry!r}")
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            raise AssertionError(
+                f"CAS entry {path} carries schema {entry.get('schema')!r}, "
+                f"expected {CACHE_SCHEMA_VERSION}")
+        checked += 1
+    return checked
 
 
 # ----------------------------------------------------------------------

@@ -55,6 +55,14 @@ class ServerHarness:
         with self.client(timeout=timeout) as client:
             return client.request(verb, args, request_id=request_id)
 
+    def drain(self, timeout: float = 30.0) -> None:
+        """Begin a graceful drain and join the daemon thread: the
+        in-process analogue of SIGTERM."""
+        self.server.request_drain()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server failed to drain within timeout")
+
     def stop(self, timeout: float = 30.0) -> None:
         """Shut the daemon down and join its thread (idempotent)."""
         self.server.request_shutdown()

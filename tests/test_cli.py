@@ -527,6 +527,132 @@ class TestServeCLI:
         assert served.stderr == direct.stderr
         assert "invalid sinc order split" in served.stderr
 
+    def test_health_verb(self, serve_daemon):
+        health = run_client(serve_daemon, "health")
+        payload = json.loads(health.stdout)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0.0
+        assert payload["inflight"] == 0
+
+    def test_deadline_ms_flag_reaches_the_server(self, serve_daemon):
+        # A generous deadline changes nothing about a fast request.
+        ping = run_client(serve_daemon, "--deadline-ms", "60000", "ping")
+        assert ping.stdout == "pong\n"
+
+
+class TestServeDrainCLI:
+    """Satellite 3: SIGTERM drains a real daemon end to end."""
+
+    def test_sigterm_finishes_inflight_refuses_new_and_exits_zero(
+            self, tmp_path):
+        import faultutils
+        from repro.serve.protocol import encode_line
+
+        with faultutils.ServeDaemon(cache_dir=tmp_path / "cache", jobs=1,
+                                    drain_grace_s=60.0) as daemon:
+            # One slow request in flight, one idle surviving connection.
+            inflight = daemon.client(timeout=120)
+            inflight.send_raw(encode_line(
+                {"id": "inflight", "verb": "sweep",
+                 "args": ["--output-bits", "12", "--snr", "--snr-samples",
+                          "4194304", "--quiet"]}).encode("utf-8"))
+            survivor = daemon.client(timeout=120)
+            # Wait until the computation is provably in flight (health is
+            # a control verb: answered on the loop, never queued).
+            import time as _time
+            deadline = _time.monotonic() + 30
+            while _time.monotonic() < deadline:
+                if survivor.request("health")["health"]["inflight"] >= 1:
+                    break
+                _time.sleep(0.02)
+
+            daemon.sigterm()
+            # Signal delivery is asynchronous: wait for the daemon to
+            # acknowledge the drain before asserting the refusal.
+            while _time.monotonic() < deadline:
+                health = survivor.request("health")["health"]
+                if health["status"] == "draining":
+                    break
+                _time.sleep(0.02)
+
+            # A new command on the surviving connection: `draining`.
+            response = survivor.request("design", ["--no-activity"])
+            assert response["exit_code"] == 2
+            assert response["error"]["kind"] == "draining"
+            assert response["stderr"].startswith("error: ")
+
+            # The in-flight request still completes in full...
+            done = json.loads(inflight.read_response_line())
+            assert done["id"] == "inflight"
+            assert done["exit_code"] == 0
+            assert done["stdout"]
+            inflight.close()
+            survivor.close()
+
+            # ...the daemon exits 0 within the grace window, and a fresh
+            # `repro client` connect is a clean one-line exit-2 error.
+            assert daemon.wait(60) == 0
+            late = run_client(str(daemon.address), "ping", check=False)
+            assert late.returncode == 2
+            assert late.stderr.startswith("error: cannot reach server at ")
+            assert "Traceback" not in late.stderr
+
+
+class TestClientFailureMapping:
+    """Connection-level failures surface as one-line exit-2 errors."""
+
+    def test_mid_response_eof_is_a_clean_error(self):
+        import socket
+        import threading
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def half_answer():
+            conn, _ = listener.accept()
+            with conn:
+                reader = conn.makefile("rb")
+                reader.readline()             # consume the request
+                conn.sendall(b'{"ok": tru')   # truncated response, no \n
+        server = threading.Thread(target=half_answer, daemon=True)
+        server.start()
+        try:
+            proc = run_cli("client", "--connect", f"127.0.0.1:{port}",
+                           "ping", check=False)
+        finally:
+            server.join(timeout=30)
+            listener.close()
+        assert proc.returncode == 2
+        assert proc.stdout == ""
+        assert proc.stderr.startswith(
+            f"error: connection to 127.0.0.1:{port} failed: ")
+        assert proc.stderr.count("\n") == 1
+        assert "Traceback" not in proc.stderr
+
+    def test_eof_without_response_is_a_clean_error(self):
+        import socket
+        import threading
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def close_without_answer():
+            conn, _ = listener.accept()
+            with conn:
+                conn.makefile("rb").readline()
+        server = threading.Thread(target=close_without_answer, daemon=True)
+        server.start()
+        try:
+            proc = run_cli("client", "--connect", f"127.0.0.1:{port}",
+                           "ping", check=False)
+        finally:
+            server.join(timeout=30)
+            listener.close()
+        assert proc.returncode == 2
+        assert "without responding" in proc.stderr
+        assert proc.stderr.startswith("error: ")
+        assert "Traceback" not in proc.stderr
+
 
 class TestServeClientValidation:
     """Argument/connection errors of the serve/client pair (exit 2)."""
@@ -570,3 +696,29 @@ class TestServeClientValidation:
         proc = run_cli("client", "--timeout", "0", "ping", check=False)
         assert proc.returncode == 2
         assert "--timeout must be positive" in proc.stderr
+
+    def test_client_rejects_negative_retries(self):
+        proc = run_cli("client", "--retries", "-1", "ping", check=False)
+        assert proc.returncode == 2
+        assert "--retries must be non-negative" in proc.stderr
+
+    def test_client_rejects_bad_deadline(self):
+        proc = run_cli("client", "--deadline-ms", "0", "ping", check=False)
+        assert proc.returncode == 2
+        assert "--deadline-ms must be a positive integer" in proc.stderr
+
+    def test_serve_rejects_bad_max_queue(self):
+        proc = run_cli("serve", "--max-queue", "-2", check=False)
+        assert proc.returncode == 2
+        assert "--max-queue must be -1 (unbounded) or non-negative" \
+            in proc.stderr
+
+    def test_serve_rejects_negative_drain_grace(self):
+        proc = run_cli("serve", "--drain-grace-s", "-1", check=False)
+        assert proc.returncode == 2
+        assert "--drain-grace-s must be non-negative" in proc.stderr
+
+    def test_serve_rejects_bad_write_timeout(self):
+        proc = run_cli("serve", "--write-timeout-s", "0", check=False)
+        assert proc.returncode == 2
+        assert "--write-timeout-s must be positive" in proc.stderr

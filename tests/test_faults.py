@@ -1,4 +1,4 @@
-"""Concurrency & crash-consistency tests for the artifact store.
+"""Concurrency & crash-consistency tests for the artifact store & daemon.
 
 Drives the reusable harness in :mod:`tests.faultutils` against
 :class:`repro.explore.store.ArtifactCAS`: racing multiprocess writers on
@@ -7,15 +7,26 @@ rename, corrupted published entries, and concurrent real sweeps sharing
 one store — asserting the contract the store documents: zero lost or
 torn records, orphans only ever temp files, corrupt entries miss and
 heal.
+
+PR 8 turns the same guns on the serve daemon: a real ``repro serve``
+subprocess is SIGKILLed mid-request (no torn CAS entries; a restart on
+the same cache serves byte-identical warm results), SIGTERMed
+mid-coalesce (surviving waiters still get their responses, exit 0),
+attacked with slow-loris half-requests and mid-flight disconnects (the
+daemon keeps serving, and an unterminated line is never answered —
+even across a drain).
 """
 
 import json
+import signal
+import time
 
 import pytest
 
 import faultutils
 from repro.explore import SweepSpec, run_sweep, sweep_report_json
 from repro.explore.store import ArtifactCAS
+from repro.serve.protocol import encode_line
 
 
 class TestCorruptEntriesMissAndHeal:
@@ -150,3 +161,105 @@ class TestRacingSweeps:
         # The record is complete canonical JSON (a torn write would have
         # failed json parsing long before this assert).
         assert json.dumps(record, sort_keys=True)
+
+
+class TestServeDaemonFaults:
+    """Real signals against a real ``repro serve`` subprocess."""
+
+    #: A cheap, fully deterministic request (``--quiet`` drops the
+    #: timing line) used for byte-identity across restarts.
+    SWEEP_WARM = ["--output-bits", "12", "14", "--snr",
+                  "--snr-samples", "2048", "--quiet"]
+    #: A deliberately slow request (~1s+ of SNR simulation) that opens a
+    #: wide mid-flight window for signal delivery.
+    SWEEP_SLOW = ["--output-bits", "12", "--snr",
+                  "--snr-samples", "1048576", "--quiet"]
+
+    def _fire(self, daemon, request_id, args):
+        """Send one sweep request without waiting for its response."""
+        client = daemon.client(timeout=120)
+        client.send_raw(encode_line(
+            {"id": request_id, "verb": "sweep",
+             "args": list(args)}).encode("utf-8"))
+        return client
+
+    def test_sigkill_mid_request_tears_nothing_and_restart_is_warm(
+            self, tmp_path):
+        cache = tmp_path / "cache"
+        with faultutils.ServeDaemon(cache_dir=cache, jobs=2) as daemon:
+            cold = daemon.request("sweep", self.SWEEP_WARM, timeout=120)
+            assert cold["exit_code"] == 0
+            before = daemon.request("sweep", self.SWEEP_WARM, timeout=120)
+            assert before["exit_code"] == 0
+            assert before["stdout"] == cold["stdout"]  # warm == cold result
+
+            # A different (slow) request is mid-flight when SIGKILL lands.
+            victim = self._fire(daemon, "victim", self.SWEEP_SLOW)
+            time.sleep(0.5)
+            daemon.sigkill()
+            assert daemon.wait(30) == -signal.SIGKILL
+            # The in-flight response is *lost*, never torn: EOF, no bytes.
+            assert victim.read_response_line() == b""
+            victim.close()
+
+        # Every published cache entry survived the crash intact.
+        assert faultutils.assert_cas_integrity(cache) >= 2
+
+        # A restarted daemon on the same cache serves the exact result
+        # bytes, fully from cache (the stderr progress line carries wall
+        # clock, so the result contract is stdout + cached-ness).
+        with faultutils.ServeDaemon(cache_dir=cache, jobs=2) as daemon:
+            after = daemon.request("sweep", self.SWEEP_WARM, timeout=120)
+            assert after["exit_code"] == 0
+            assert after["stdout"] == before["stdout"]
+            assert "2 cached, 0 executed" in after["stderr"]
+
+    def test_sigterm_mid_coalesce_answers_survivors_and_exits_zero(
+            self, tmp_path):
+        cache = tmp_path / "cache"
+        with faultutils.ServeDaemon(cache_dir=cache, jobs=2,
+                                    drain_grace_s=60.0) as daemon:
+            # Two clients coalesced on one slow computation...
+            waiters = [self._fire(daemon, i, self.SWEEP_SLOW)
+                       for i in range(2)]
+            time.sleep(0.5)
+            # ...when the drain signal arrives mid-flight.
+            daemon.sigterm()
+            responses = [json.loads(w.read_response_line())
+                         for w in waiters]
+            for index, response in enumerate(responses):
+                assert response["id"] == index
+                assert response["exit_code"] == 0
+                assert response["stdout"]
+            assert len({r["stdout"] for r in responses}) == 1
+            assert daemon.wait(90) == 0
+            for waiter in waiters:
+                waiter.close()
+        faultutils.assert_cas_integrity(cache)
+
+    def test_slow_loris_blocks_neither_service_nor_drain(self, tmp_path):
+        with faultutils.ServeDaemon(jobs=1) as daemon:
+            loris = faultutils.send_partial_request(daemon.address)
+            # The daemon keeps serving everyone else...
+            for _ in range(3):
+                assert daemon.request("ping")["ok"] is True
+            # ...and drains out from under the parked half-request.
+            daemon.sigterm()
+            assert daemon.wait(30) == 0
+            # An unterminated line is never answered, drain or no drain.
+            assert loris.read_response_line() == b""
+            loris.close()
+
+    def test_disconnects_under_load_leave_the_daemon_serving(self,
+                                                             tmp_path):
+        cache = tmp_path / "cache"
+        with faultutils.ServeDaemon(cache_dir=cache, jobs=2) as daemon:
+            # A herd of clients rips its connections out mid-flight.
+            for index in range(4):
+                self._fire(daemon, index, self.SWEEP_SLOW).close()
+            assert daemon.request("ping")["ok"] is True
+            done = daemon.request("sweep", self.SWEEP_WARM, timeout=120)
+            assert done["exit_code"] == 0
+            daemon.sigterm()
+            assert daemon.wait(90) == 0
+        faultutils.assert_cas_integrity(cache)

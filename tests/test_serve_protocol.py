@@ -32,12 +32,24 @@ def harness(tmp_path_factory):
 class TestParseRequest:
     def test_roundtrip(self):
         line = encode_line({"id": 7, "verb": "design", "args": ["--snr"]})
-        request_id, verb, args = parse_request(line.encode("utf-8"))
+        request_id, verb, args, deadline = parse_request(line.encode("utf-8"))
         assert (request_id, verb, args) == (7, "design", ["--snr"])
+        assert deadline is None
 
     def test_id_defaults_to_none_and_args_to_empty(self):
-        _, verb, args = parse_request(b'{"verb": "ping"}')
-        assert (verb, args) == ("ping", [])
+        _, verb, args, deadline = parse_request(b'{"verb": "ping"}')
+        assert (verb, args, deadline) == ("ping", [], None)
+
+    def test_deadline_ms_parses(self):
+        line = encode_line({"verb": "design", "deadline_ms": 1500})
+        assert parse_request(line.encode("utf-8"))[3] == 1500
+
+    @pytest.mark.parametrize("bad", [0, -5, 1.5, "100", True, [100]])
+    def test_bad_deadline_ms_rejected(self, bad):
+        line = encode_line({"verb": "design", "deadline_ms": bad})
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line.encode("utf-8"))
+        assert excinfo.value.kind == "bad-request"
 
     @pytest.mark.parametrize("line,kind", [
         (b"not json at all\n", "bad-json"),

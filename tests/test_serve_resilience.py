@@ -1,0 +1,517 @@
+"""Resilience-layer tests: drain, deadlines, backpressure, retrying client.
+
+The deterministic in-process half of the PR 8 story (the subprocess half
+— real signals against a real daemon — lives in ``test_faults.py`` and
+``test_cli.py``): a gated design flow opens precise windows in which the
+daemon is provably busy, so shedding, deadline expiry and the drain
+lifecycle are asserted at exact states instead of racy sleeps.  The
+retrying client is driven against scripted socket servers whose failure
+modes (overload-then-recover, close-without-answer, truncated response)
+are exact, with recorded sleeps instead of real backoff.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+import serveutils
+from repro.serve.client import ServeClient, backoff_delay_s, parse_address
+from repro.serve.protocol import (IDEMPOTENT_VERBS, RETRYABLE_ERROR_KINDS,
+                                  encode_line, error_envelope)
+
+#: The gated request every busy-window test parks in the pool.
+DESIGN_ARGS = ["--no-activity"]
+
+
+@pytest.fixture()
+def gated_flow(monkeypatch):
+    """Gate + count every ``run_design_flow`` call (the
+    ``test_serve_coalesce`` idiom): no execution completes until
+    ``gate.set()``, which makes busy-daemon windows deterministic."""
+    import repro.flow
+    import repro.flow.pipeline
+
+    real = repro.flow.pipeline.run_design_flow
+    calls = {"n": 0}
+    lock = threading.Lock()
+    gate = threading.Event()
+
+    def gated(*args, **kwargs):
+        with lock:
+            calls["n"] += 1
+        assert gate.wait(timeout=120), "gate never released"
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(repro.flow, "run_design_flow", gated)
+    monkeypatch.setattr(repro.flow.pipeline, "run_design_flow", gated)
+    return calls, gate
+
+
+class TestHealthVerb:
+    def test_health_is_ok_on_an_idle_daemon(self):
+        with serveutils.ServerHarness(jobs=1) as harness:
+            response = harness.request("health")
+            assert response["ok"] is True
+            assert response["exit_code"] == 0
+            health = response["health"]
+            assert json.loads(response["stdout"]) == health
+            assert health["status"] == "ok"
+            assert health["inflight"] == 0
+            assert health["uptime_s"] >= 0.0
+
+    def test_health_reports_overloaded_at_capacity(self, gated_flow):
+        calls, gate = gated_flow
+        with serveutils.ServerHarness(jobs=1, max_queue=0) as harness:
+            busy = harness.client(timeout=120)
+            busy.send_raw(encode_line(
+                {"id": "busy", "verb": "design",
+                 "args": DESIGN_ARGS}).encode("utf-8"))
+            serveutils.wait_until(
+                lambda: harness.server.coalescer.in_flight() == 1,
+                message="request to occupy the pool")
+            health = harness.request("health")["health"]
+            assert health["status"] == "overloaded"
+            assert health["inflight"] == 1
+            gate.set()
+            assert json.loads(busy.read_response_line())["exit_code"] == 0
+            busy.close()
+
+
+class TestBackpressure:
+    def test_launching_past_capacity_sheds_with_retry_hint(self, gated_flow):
+        calls, gate = gated_flow
+        with serveutils.ServerHarness(jobs=1, max_queue=0) as harness:
+            busy = harness.client(timeout=120)
+            busy.send_raw(encode_line(
+                {"id": "busy", "verb": "design",
+                 "args": DESIGN_ARGS}).encode("utf-8"))
+            serveutils.wait_until(
+                lambda: harness.server.coalescer.in_flight() == 1,
+                message="request to occupy the pool")
+
+            # A *different* request would launch new work: shed.
+            shed = harness.request(
+                "design", DESIGN_ARGS + ["--library", "generic-90nm"])
+            assert shed["ok"] is False
+            assert shed["exit_code"] == 2
+            assert shed["error"]["kind"] == "overloaded"
+            assert shed["error"]["retry_after_ms"] >= 50
+            assert shed["stderr"].startswith("error: ")
+            assert "overloaded" in RETRYABLE_ERROR_KINDS
+
+            stats = harness.request("stats")["stats"]
+            assert stats["resilience"]["shed"] == 1
+            assert stats["server"]["max_queue"] == 0
+
+            gate.set()
+            assert json.loads(busy.read_response_line())["exit_code"] == 0
+            busy.close()
+            assert calls["n"] == 1  # the shed request never executed
+
+    def test_joining_an_inflight_key_is_never_shed(self, gated_flow):
+        calls, gate = gated_flow
+        with serveutils.ServerHarness(jobs=1, max_queue=0) as harness:
+            leader = harness.client(timeout=120)
+            leader.send_raw(encode_line(
+                {"id": "leader", "verb": "design",
+                 "args": DESIGN_ARGS}).encode("utf-8"))
+            serveutils.wait_until(
+                lambda: harness.server.coalescer.in_flight() == 1,
+                message="leader launch")
+
+            joiner = harness.client(timeout=120)
+            joiner.send_raw(encode_line(
+                {"id": "joiner", "verb": "design",
+                 "args": DESIGN_ARGS}).encode("utf-8"))
+            serveutils.wait_until(
+                lambda: harness.server.coalescer.coalesced == 1,
+                message="joiner to coalesce")
+            gate.set()
+
+            for client, request_id in ((leader, "leader"),
+                                       (joiner, "joiner")):
+                response = json.loads(client.read_response_line())
+                assert response["id"] == request_id
+                assert response["exit_code"] == 0
+                client.close()
+            assert harness.server.telemetry.snapshot()[
+                "resilience"]["shed"] == 0
+            assert calls["n"] == 1
+
+    def test_queue_wait_percentiles_are_reported(self):
+        with serveutils.ServerHarness(jobs=1) as harness:
+            harness.request("cache", ["stats", "--cache-dir", "/tmp/absent"])
+            serveutils.wait_until(
+                lambda: harness.server.telemetry.snapshot()[
+                    "queue_wait_ms"]["count"] >= 1,
+                message="queue-wait sample")
+            waits = harness.request("stats")["stats"]["queue_wait_ms"]
+            assert waits["count"] >= 1
+            assert 0.0 <= waits["p50"] <= waits["p99"] <= waits["max"]
+
+
+class TestDeadlines:
+    def test_expired_deadline_answers_with_deadline_envelope(self,
+                                                             gated_flow):
+        calls, gate = gated_flow
+        with serveutils.ServerHarness(jobs=1) as harness:
+            with harness.client(timeout=120) as client:
+                response = client.request("design", DESIGN_ARGS,
+                                          deadline_ms=100)
+                assert response["ok"] is False
+                assert response["exit_code"] == 2
+                assert response["error"]["kind"] == "deadline"
+                assert response["error"]["deadline_ms"] == 100
+            # The abandoned computation was shielded: it completes once
+            # released and warms the store for the retry.
+            gate.set()
+            serveutils.wait_until(
+                lambda: harness.server.coalescer.in_flight() == 0,
+                message="abandoned computation to finish")
+            retry = harness.request("design", DESIGN_ARGS, timeout=120)
+            assert retry["exit_code"] == 0
+            stats = harness.request("stats")["stats"]
+            assert stats["resilience"]["deadline_timeouts"] == 1
+
+    def test_generous_deadline_does_not_interfere(self, gated_flow):
+        calls, gate = gated_flow
+        gate.set()
+        with serveutils.ServerHarness(jobs=1) as harness:
+            with harness.client(timeout=120) as client:
+                response = client.request("design", DESIGN_ARGS,
+                                          deadline_ms=120000)
+                assert response["exit_code"] == 0
+                assert response["stdout"]
+
+    def test_deadline_on_one_waiter_spares_the_coalesced_other(self,
+                                                               gated_flow):
+        calls, gate = gated_flow
+        with serveutils.ServerHarness(jobs=1) as harness:
+            patient = harness.client(timeout=120)
+            patient.send_raw(encode_line(
+                {"id": "patient", "verb": "design",
+                 "args": DESIGN_ARGS}).encode("utf-8"))
+            serveutils.wait_until(
+                lambda: harness.server.coalescer.in_flight() == 1,
+                message="patient launch")
+
+            with harness.client(timeout=120) as hurried:
+                response = hurried.request("design", DESIGN_ARGS,
+                                           deadline_ms=100)
+                assert response["error"]["kind"] == "deadline"
+
+            gate.set()
+            response = json.loads(patient.read_response_line())
+            patient.close()
+            assert response["id"] == "patient"
+            assert response["exit_code"] == 0
+            assert calls["n"] == 1  # one shared execution, never cancelled
+
+
+class TestDrainLifecycle:
+    def test_drain_finishes_inflight_refuses_new_and_exits(self,
+                                                           gated_flow):
+        calls, gate = gated_flow
+        harness = serveutils.ServerHarness(jobs=1, drain_grace_s=30.0)
+        inflight = harness.client(timeout=120)
+        inflight.send_raw(encode_line(
+            {"id": "inflight", "verb": "design",
+             "args": DESIGN_ARGS}).encode("utf-8"))
+        serveutils.wait_until(
+            lambda: harness.server.coalescer.in_flight() == 1,
+            message="in-flight request")
+
+        survivor = harness.client(timeout=120)  # open before the drain
+        # A ping round-trip proves the server *accepted* this connection —
+        # merely connecting leaves it in the kernel backlog, where closing
+        # the listener at drain time would silently drop it.
+        survivor.send_raw(encode_line(
+            {"id": "hi", "verb": "ping"}).encode("utf-8"))
+        assert json.loads(survivor.read_response_line())["stdout"] == "pong\n"
+        harness.server.request_drain()
+        serveutils.wait_until(lambda: harness.server.draining,
+                              message="drain to begin")
+
+        # Control verbs still answer on a surviving connection...
+        survivor.send_raw(encode_line(
+            {"id": "h", "verb": "health"}).encode("utf-8"))
+        health = json.loads(survivor.read_response_line())
+        assert health["health"]["status"] == "draining"
+        # ...while new command requests are refused with `draining`...
+        survivor.send_raw(encode_line(
+            {"id": "late", "verb": "design",
+             "args": DESIGN_ARGS}).encode("utf-8"))
+        refused = json.loads(survivor.read_response_line())
+        assert refused["error"]["kind"] == "draining"
+        assert refused["exit_code"] == 2
+        # ...and new connections are refused outright (listener closed).
+        with pytest.raises((ConnectionError, OSError)):
+            ServeClient(harness.address, timeout=5.0)
+
+        gate.set()
+        # The in-flight request still gets its full response.
+        response = json.loads(inflight.read_response_line())
+        assert response["id"] == "inflight"
+        assert response["exit_code"] == 0
+        assert response["stdout"]
+        inflight.close()
+        survivor.close()
+
+        harness._thread.join(timeout=30)
+        assert not harness._thread.is_alive()
+        assert calls["n"] == 1
+
+    def test_drain_verb_drains_an_idle_daemon(self):
+        harness = serveutils.ServerHarness(jobs=1)
+        response = harness.request("drain")
+        assert response["ok"] is True
+        assert response["stdout"] == "draining\n"
+        harness._thread.join(timeout=30)
+        assert not harness._thread.is_alive()
+
+    def test_drain_is_idempotent(self, gated_flow):
+        calls, gate = gated_flow
+        gate.set()
+        harness = serveutils.ServerHarness(jobs=1)
+        with harness.client(timeout=60) as client:
+            first = client.request("drain")
+            second = client.request("drain")
+            assert first["ok"] is True and second["ok"] is True
+        harness._thread.join(timeout=30)
+        assert not harness._thread.is_alive()
+
+    def test_drain_grace_expiry_still_exits(self, gated_flow):
+        calls, gate = gated_flow
+        harness = serveutils.ServerHarness(jobs=1, drain_grace_s=0.2)
+        stuck = harness.client(timeout=120)
+        stuck.send_raw(encode_line(
+            {"id": "stuck", "verb": "design",
+             "args": DESIGN_ARGS}).encode("utf-8"))
+        serveutils.wait_until(
+            lambda: harness.server.coalescer.in_flight() == 1,
+            message="stuck request")
+        harness.server.request_drain()
+        # The grace window expires with the gate still held: the daemon
+        # must exit anyway rather than hang on the wedged computation.
+        harness._thread.join(timeout=30)
+        assert not harness._thread.is_alive()
+        gate.set()  # unwedge the worker thread so pytest can exit
+        stuck.close()
+
+
+# ----------------------------------------------------------------------
+# The retrying client, against scripted socket servers
+# ----------------------------------------------------------------------
+class ScriptedServer:
+    """A one-connection-at-a-time TCP server replaying scripted actions.
+
+    Each accepted connection consumes the next action:
+
+    * ``("respond", envelope)`` — read one request line, answer with the
+      JSON envelope (the request's ``id`` is echoed);
+    * ``("close", None)`` — read the request, close without answering;
+    * ``("truncate", text)`` — read the request, send ``text`` with *no*
+      newline, close (a response cut off mid-line).
+
+    After the script is exhausted every further request gets an ``ok``
+    pong.  ``requests`` records every decoded request line.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(30.0)
+        self.address = parse_address(
+            "127.0.0.1:%d" % self._sock.getsockname()[1])
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._stop = threading.Event()
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except (socket.timeout, OSError):
+                return
+            with conn:
+                try:
+                    self._serve_one(conn)
+                except (ConnectionError, OSError):
+                    pass
+
+    def _serve_one(self, conn):
+        reader = conn.makefile("rb")
+        while True:
+            line = reader.readline()
+            if not line:
+                return
+            request = json.loads(line.decode("utf-8"))
+            self.requests.append(request)
+            action, payload = (self.script.pop(0) if self.script
+                               else ("respond", None))
+            if action == "close":
+                return
+            if action == "truncate":
+                conn.sendall(payload.encode("utf-8"))
+                return
+            if payload is None:
+                payload = {"ok": True, "exit_code": 0, "stdout": "pong\n",
+                           "stderr": "", "coalesced": False}
+            envelope = dict(payload)
+            envelope["id"] = request.get("id")
+            conn.sendall(encode_line(envelope).encode("utf-8"))
+
+    def close(self):
+        self._stop.set()
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def overloaded_envelope(retry_after_ms=5):
+    """A canned ``overloaded`` response body (id filled in by the server)."""
+    return error_envelope(None, "overloaded", "admission queue is full",
+                          detail={"retry_after_ms": retry_after_ms})
+
+
+class TestBackoffDelay:
+    def test_full_jitter_stays_within_the_capped_curve(self):
+        import random
+
+        rng = random.Random(2011)
+        for attempt in range(8):
+            ceiling = min(2.0, 0.05 * 2 ** attempt)
+            for _ in range(32):
+                delay = backoff_delay_s(attempt, rng=rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_retry_after_hint_is_a_floor(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(32):
+            delay = backoff_delay_s(0, retry_after_ms=400, rng=rng)
+            assert delay >= 0.4
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay_s(-1)
+
+
+class TestRetryingClient:
+    def _client(self, address, retries, sleeps):
+        import random
+
+        return ServeClient(address, timeout=10.0, retries=retries,
+                           rng=random.Random(2011), sleep=sleeps.append)
+
+    def test_overloaded_then_ok_recovers(self):
+        with ScriptedServer([("respond", overloaded_envelope(5)),
+                             ("respond", None)]) as server:
+            sleeps = []
+            with self._client(server.address, 3, sleeps) as client:
+                response = client.request("ping", request_id="r")
+            assert response["ok"] is True
+            assert len(server.requests) == 2
+            assert len(sleeps) == 1
+            assert sleeps[0] >= 0.005  # honored the retry_after_ms floor
+
+    def test_retries_exhausted_returns_the_last_envelope(self):
+        script = [("respond", overloaded_envelope(1))] * 3
+        with ScriptedServer(script) as server:
+            sleeps = []
+            with self._client(server.address, 2, sleeps) as client:
+                response = client.request("ping")
+            assert response["error"]["kind"] == "overloaded"
+            assert len(server.requests) == 3  # 1 try + 2 retries
+            assert len(sleeps) == 2
+
+    def test_non_idempotent_verbs_are_never_retried(self):
+        assert "shutdown" not in IDEMPOTENT_VERBS
+        assert "drain" not in IDEMPOTENT_VERBS
+        with ScriptedServer([("respond", overloaded_envelope(1)),
+                             ("respond", None)]) as server:
+            sleeps = []
+            with self._client(server.address, 3, sleeps) as client:
+                response = client.request("shutdown")
+            assert response["error"]["kind"] == "overloaded"
+            assert len(server.requests) == 1
+            assert sleeps == []
+
+    def test_executed_failures_are_not_retried(self):
+        # exit_code 1 with no error envelope: the command ran and failed.
+        failed = {"ok": False, "exit_code": 1, "stdout": "", "stderr": "x\n",
+                  "coalesced": False}
+        with ScriptedServer([("respond", failed)]) as server:
+            sleeps = []
+            with self._client(server.address, 3, sleeps) as client:
+                response = client.request("verify")
+            assert response["exit_code"] == 1
+            assert len(server.requests) == 1
+            assert sleeps == []
+
+    def test_connection_close_reconnects_and_recovers(self):
+        with ScriptedServer([("close", None),
+                             ("respond", None)]) as server:
+            sleeps = []
+            with self._client(server.address, 2, sleeps) as client:
+                response = client.request("ping")
+            assert response["ok"] is True
+            assert len(server.requests) == 2
+            assert len(sleeps) == 1
+
+    def test_truncated_response_is_a_connection_error_and_retries(self):
+        with ScriptedServer([("truncate", '{"ok": tru'),
+                             ("respond", None)]) as server:
+            sleeps = []
+            with self._client(server.address, 2, sleeps) as client:
+                response = client.request("ping")
+            assert response["ok"] is True
+            assert len(server.requests) == 2
+
+    def test_truncated_response_without_retries_raises(self):
+        with ScriptedServer([("truncate", '{"ok": tru')]) as server:
+            with ServeClient(server.address, timeout=10.0) as client:
+                with pytest.raises(ConnectionError):
+                    client.request("ping")
+
+    def test_zero_retries_raises_on_close(self):
+        with ScriptedServer([("close", None)]) as server:
+            with ServeClient(server.address, timeout=10.0) as client:
+                with pytest.raises(ConnectionError):
+                    client.request("ping")
+
+
+class TestSlowClientWriteTimeout:
+    def test_stalled_reader_loses_its_connection_not_the_daemon(self):
+        # A response far larger than the socket buffers, written to a
+        # client that never reads: drain() must trip the write timeout.
+        with serveutils.ServerHarness(jobs=1,
+                                      write_timeout_s=0.5) as harness:
+            stalled = harness.client(timeout=120)
+            stalled._sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                                     4096)
+            big = "x" * (64 << 20)
+
+            def fake_run(argv, submitted=None):
+                return {"exit_code": 0, "stdout": big, "stderr": ""}
+
+            harness.server._run_blocking = fake_run
+            stalled.send_raw(encode_line(
+                {"id": "stall", "verb": "verify"}).encode("utf-8"))
+            serveutils.wait_until(
+                lambda: harness.server.telemetry.snapshot()[
+                    "resilience"]["write_timeouts"] >= 1,
+                timeout=30,
+                message="write timeout to fire")
+            stalled.close()
+            # The daemon is still healthy for everybody else.
+            assert harness.request("ping")["ok"] is True

@@ -60,6 +60,14 @@ FLOORS = {
          lambda r: r["cache_hit_rate"] > 0.0),
         ("slowest cold pass finishes within 120 s",
          lambda r: r["cold_s_max"] <= 120.0),
+        ("bounded admission queue shed traffic under overload",
+         lambda r: r["overload"]["shed"] >= 1),
+        ("retrying clients recovered shed traffic to 100% success",
+         lambda r: r["overload"]["retry_success_rate"] == 1.0),
+        ("queue-wait p99 is measured under overload",
+         lambda r: r["overload"]["queue_wait_p99_ms"] >= 0.0),
+        ("SIGTERM drained the overloaded daemon to a clean exit 0",
+         lambda r: r["overload"]["drain_clean_exit"] is True),
     ],
 }
 
