@@ -366,7 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report_arguments(report, "sweep --json")
 
     cache = sub.add_parser(
-        "cache", help="inspect or prune the on-disk sweep result cache")
+        "cache", help="inspect, prune or exchange the sweep result store "
+                      "(local directory or object-store backend)")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     stats = cache_sub.add_parser("stats", help="print entry/byte/staleness counts")
     prune = cache_sub.add_parser(
@@ -382,8 +383,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "many seconds (default: 3600; 0 reclaims all)")
     for sub_parser in (stats, prune):
         sub_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
-                                help="cache directory "
+                                help="store: directory path, mem://NAME or "
+                                     "s3://BUCKET[/PREFIX] "
                                      f"(default: {DEFAULT_CACHE_DIR})")
+    push = cache_sub.add_parser(
+        "push", help="copy records missing at DST from SRC (key-diff'd, "
+                     "resumable, atomic per record)")
+    pull = cache_sub.add_parser(
+        "pull", help="same transfer as push; the verb for fetching a "
+                     "remote store into a local one")
+    for sub_parser in (push, pull):
+        sub_parser.add_argument(
+            "source", metavar="SRC",
+            help="source store: directory path, mem://NAME or "
+                 "s3://BUCKET[/PREFIX]")
+        sub_parser.add_argument(
+            "destination", metavar="DST",
+            help="destination store (created on first write)")
+        sub_parser.add_argument(
+            "--match", metavar="PATTERN", default=None,
+            help="only transfer keys matching this fnmatch PATTERN")
+        sub_parser.add_argument(
+            "--dry-run", action="store_true",
+            help="diff and report without writing anything")
+        sub_parser.add_argument(
+            "--quiet", action="store_true",
+            help="suppress per-record progress lines (summary only)")
 
     serve = sub.add_parser(
         "serve", help="run the long-lived design service daemon "
@@ -921,24 +946,54 @@ def _cmd_report(args: argparse.Namespace, io: CommandIO) -> int:
     return _render_saved_report(args, render_report_from_json, io)
 
 
-def _cmd_cache(args: argparse.Namespace, io: CommandIO) -> int:
-    from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
+def _cmd_cache_transfer(args: argparse.Namespace, io: CommandIO) -> int:
+    """``cache push``/``cache pull``: key-diff'd record exchange between
+    any two stores (see :func:`repro.explore.transfer.transfer_records`)."""
+    from repro.explore.transfer import transfer_records
 
-    if not os.path.isdir(args.cache_dir):
+    progress = None if args.quiet else io.err
+    try:
+        summary = transfer_records(args.source, args.destination,
+                                   match=args.match, dry_run=args.dry_run,
+                                   progress=progress)
+    except (ValueError, OSError) as exc:
+        # Bad spec / missing source / unreachable or misconfigured
+        # remote store: one-line error, exit 2, no traceback.
+        raise CLIError(str(exc))
+    io.out(summary.line(verb=args.cache_command))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, io: CommandIO) -> int:
+    from repro.explore.store import CACHE_SCHEMA_VERSION, open_store
+
+    if args.cache_command in ("push", "pull"):
+        return _cmd_cache_transfer(args, io)
+    spec = str(args.cache_dir)
+    if "://" not in spec and not os.path.isdir(spec):
         # Inspection must not create the directory as a side effect.
         if args.cache_command == "stats":
-            io.out(f"Cache directory : {args.cache_dir} (does not exist)")
+            io.out(f"Cache directory : {spec} (does not exist)")
             io.out(f"Schema version  : {CACHE_SCHEMA_VERSION}")
             io.out("Entries         : 0")
             io.out("Total bytes     : 0")
             io.out("Stale entries   : 0")
             io.out("Orphaned tmp    : 0")
         else:
-            io.out(f"Removed 0 cache entries from {args.cache_dir}")
+            io.out(f"Removed 0 cache entries from {spec}")
         return 0
-    cache = ArtifactCAS(args.cache_dir)
+    # Non-directory specs (mem://, s3://) route through the same backend
+    # scan primitive as directories; unusable specs (unknown scheme,
+    # missing SDK) fail with a one-line error instead of a traceback.
+    try:
+        cache = open_store(spec)
+    except ValueError as exc:
+        raise CLIError(str(exc))
     if args.cache_command == "stats":
-        stats = cache.stats()
+        try:
+            stats = cache.stats()
+        except OSError as exc:
+            raise CLIError(str(exc))
         io.out(f"Cache directory : {stats['directory']}")
         io.out(f"Schema version  : {stats['schema']}")
         io.out(f"Entries         : {stats['entries']}")
@@ -954,8 +1009,11 @@ def _cmd_cache(args: argparse.Namespace, io: CommandIO) -> int:
     grace = args.tmp_grace_s if args.tmp_grace_s is not None else TMP_GRACE_S
     if grace < 0:
         raise CLIError(f"--tmp-grace-s must be non-negative (got {grace})")
-    removed = cache.prune(older_than_s=older, everything=args.all,
-                          tmp_grace_s=grace)
+    try:
+        removed = cache.prune(older_than_s=older, everything=args.all,
+                              tmp_grace_s=grace)
+    except OSError as exc:
+        raise CLIError(str(exc))
     io.out(f"Removed {removed} cache entries from {cache.directory}")
     return 0
 

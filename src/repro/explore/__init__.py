@@ -11,6 +11,10 @@ call; this package turns that into a batch explorer:
   (:class:`~repro.explore.store.ArtifactCAS`; ``SweepCache`` is the
   compatibility name), with grid resume (``resume=``) and deterministic
   cross-host sharding (``shard=(i, n)`` + ``merge_shard_reports``).
+* :mod:`~repro.explore.transfer` — key-diff'd record exchange between any
+  two stores (local directory, in-memory or S3-style object store — see
+  :func:`~repro.explore.store.open_store`), behind ``repro cache
+  push/pull``.
 * :mod:`~repro.explore.pareto` — Pareto-front computation and ranking over
   (SNR, power, area, gate count).
 * :mod:`~repro.explore.report` — Pareto-ranked markdown and canonical JSON
@@ -31,8 +35,14 @@ from repro.explore.store import (
     SHARD_PREFIX_LEN,
     TMP_GRACE_S,
     ArtifactCAS,
+    FakeObjectStore,
     LocalDirBackend,
+    ObjectStoreBackend,
+    TransientObjectStoreError,
+    fake_object_store,
+    open_store,
 )
+from repro.explore.transfer import TransferSummary, transfer_records
 from repro.explore.pareto import (
     DEFAULT_OBJECTIVES,
     ROBUST_OBJECTIVES,
@@ -70,10 +80,13 @@ __all__ = [
     "ArtifactCAS",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_OBJECTIVES",
+    "FakeObjectStore",
     "HALFBAND_DESIGN_MARGIN_DB",
     "LocalDirBackend",
     "MAX_VALIDATE_BYTES",
     "Objective",
+    "ObjectStoreBackend",
+    "TransientObjectStoreError",
     "REPORT_SCHEMA_VERSION",
     "ROBUST_OBJECTIVES",
     "SHARD_PREFIX_LEN",
@@ -85,8 +98,12 @@ __all__ = [
     "SweepPointResult",
     "SweepResult",
     "SweepSpec",
+    "TransferSummary",
     "dominates",
+    "fake_object_store",
     "merge_shard_reports",
+    "open_store",
+    "transfer_records",
     "pareto_front",
     "pareto_rank",
     "render_report_from_json",

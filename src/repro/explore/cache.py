@@ -7,13 +7,17 @@ the pre-CAS name and constructor working for existing callers; it *is* an
 ``ArtifactCAS`` — same layout, same contract, same counters — so a
 directory written through either class is readable through both, and flat
 pre-shard cache directories are migrated transparently on first hit.
+
+:func:`~repro.explore.store.open_store` is re-exported here too, since
+historical callers of this module are exactly the ones that held a bare
+cache directory and now may hold any store spec (``mem://``, ``s3://``).
 """
 
 from __future__ import annotations
 
-from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
+from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS, open_store
 
-__all__ = ["CACHE_SCHEMA_VERSION", "SweepCache"]
+__all__ = ["CACHE_SCHEMA_VERSION", "SweepCache", "open_store"]
 
 
 class SweepCache(ArtifactCAS):

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS
+from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS, open_store
 from repro.explore.pareto import DEFAULT_OBJECTIVES, Objective, pareto_rank
 from repro.explore.sweep import SweepPoint, SweepSpec
 from repro.flow.artifacts import ArtifactStore
@@ -336,7 +336,7 @@ def shard_points(points: Sequence[SweepPoint],
 
 def run_sweep(sweep: SweepSpec,
               workers: int = 1,
-              cache_dir: Optional[Union[str, Path]] = None,
+              cache_dir: Optional[Union[str, Path, ArtifactCAS]] = None,
               include_snr: bool = False,
               snr_samples: int = 16384,
               measure_activity: bool = False,
@@ -359,7 +359,11 @@ def run_sweep(sweep: SweepSpec,
         Legacy name for ``jobs`` (kept for call-site compatibility);
         ``jobs`` wins when both are given.
     cache_dir:
-        Directory of the on-disk result cache; ``None`` disables caching.
+        Result store: a directory path, any
+        :func:`~repro.explore.store.open_store` spec (``mem://NAME``,
+        ``s3://BUCKET[/PREFIX]``) or an already-open
+        :class:`~repro.explore.store.ArtifactCAS`; ``None`` disables
+        caching.
     include_snr:
         Simulate the modulator + bit-true chain per point for the measured
         end-to-end SNR (slower); otherwise the reports fall back to the
@@ -436,7 +440,7 @@ def run_sweep(sweep: SweepSpec,
     }
     all_points = sweep.expand()
     points = shard_points(all_points, shard)
-    cache = ArtifactCAS(cache_dir) if cache_dir is not None else None
+    cache = open_store(cache_dir) if cache_dir is not None else None
 
     started = time.perf_counter()
     records: Dict[int, dict] = {}
@@ -444,9 +448,10 @@ def run_sweep(sweep: SweepSpec,
     keys: Dict[int, str] = {}
     for point in points:
         keys[point.index] = point.cache_key(flow_settings)
-    # Index-free grid diff: probe the store for published entries instead
-    # of listing it; corrupt/truncated survivors of the probe still fail
-    # validation in get() below and heal by re-running (miss-and-heal).
+    # Index-free grid diff, batched through probe_many: O(shard dirs /
+    # LIST pages) round trips even on high-latency object stores.
+    # Corrupt/truncated survivors of the probe still fail validation in
+    # get() below and heal by re-running (miss-and-heal).
     if cache is not None and resume:
         missing = set(cache.diff([keys[p.index] for p in points]))
     else:

@@ -1,0 +1,138 @@
+"""Record exchange between artifact stores: key-diff'd push/pull.
+
+:func:`transfer_records` copies published records from one
+:class:`~repro.explore.store.ArtifactCAS` to another — local directory,
+``mem://`` fake object store or ``s3://`` bucket, in any combination —
+behind the ``repro cache push`` / ``repro cache pull`` CLI pair.
+
+Three properties make it safe to point at live stores and to re-run
+after interruption:
+
+* **Key-diff'd** — the destination is probed once with the batched
+  :meth:`~repro.explore.store.ArtifactCAS.probe_many`, and only missing
+  keys move; re-pushing an already-synced store transfers zero records
+  (idempotence, pinned by the property tests).
+* **Atomic per record** — each record is published through the
+  destination backend's atomic write, so readers of the destination
+  never observe a torn entry and a killed transfer leaves only complete
+  records.  Re-running it finishes the remainder (resumability).
+* **Byte-verbatim** — records are copied as raw published bytes, not
+  re-serialized, so a push → pull round trip is byte-identical by
+  construction and merged reports stay byte-stable.
+
+See docs/CACHING.md ("Remote backends") for the multi-host sweep
+workflow built on this.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.explore.store import ArtifactCAS, open_store
+
+__all__ = ["TransferSummary", "transfer_records"]
+
+StoreSpec = Union[str, Path, ArtifactCAS]
+
+
+def _label(spec: StoreSpec) -> str:
+    """Human-readable name of a store spec for summary lines."""
+    if isinstance(spec, ArtifactCAS):
+        return str(spec.directory)
+    return str(spec)
+
+
+@dataclass
+class TransferSummary:
+    """Outcome of one :func:`transfer_records` call.
+
+    ``considered`` counts every key published in the source;
+    ``filtered`` the ones excluded by ``--match``; ``skipped`` the
+    matching keys already present at the destination; ``transferred``
+    (and ``transferred_bytes``) the records actually copied — or, under
+    ``dry_run``, the ones that *would* be.
+    """
+
+    source: str
+    destination: str
+    considered: int
+    filtered: int
+    skipped: int
+    transferred: int
+    transferred_bytes: int
+    dry_run: bool
+
+    def line(self, verb: str = "push") -> str:
+        """The one-line summary the CLI prints (format pinned by tests).
+
+        Example::
+
+            Pushed 3 record(s) (1432 bytes) from /a to mem://b; 1 already present, 0 filtered out
+        """
+        past = {"push": "Pushed", "pull": "Pulled"}.get(verb, f"{verb}ed")
+        head = f"Would {verb}" if self.dry_run else past
+        return (f"{head} {self.transferred} record(s) "
+                f"({self.transferred_bytes} bytes) "
+                f"from {self.source} to {self.destination}; "
+                f"{self.skipped} already present, "
+                f"{self.filtered} filtered out")
+
+
+def transfer_records(source: StoreSpec, destination: StoreSpec,
+                     match: Optional[str] = None, dry_run: bool = False,
+                     progress: Optional[Callable[[str], None]] = None,
+                     ) -> TransferSummary:
+    """Copy records missing at ``destination`` from ``source``.
+
+    Parameters
+    ----------
+    source, destination:
+        Store specs accepted by :func:`~repro.explore.store.open_store`
+        (directory path, ``mem://NAME``, ``s3://BUCKET[/PREFIX]``) or
+        already-open stores.  The source must exist; the destination is
+        created on first write.
+    match:
+        Optional :mod:`fnmatch` pattern; only keys matching it move.
+    dry_run:
+        Diff and report without writing anything.
+    progress:
+        Optional per-record callback (the CLI points it at stderr).
+
+    Returns a :class:`TransferSummary`.  Raises ``ValueError`` for a
+    missing source or an unusable store spec.
+    """
+    src = open_store(source, must_exist=True)
+    dst = open_store(destination)
+    keys = src.keys()
+    if match is None:
+        selected = keys
+    else:
+        selected = [key for key in keys if fnmatch.fnmatchcase(key, match)]
+    present = dst.probe_many(selected) if selected else {}
+    missing = [key for key in selected if not present[key]]
+    transferred = 0
+    transferred_bytes = 0
+    for key in missing:
+        data = src.get_raw(key)
+        if data is None:
+            continue  # deleted from the source mid-transfer
+        if not dry_run:
+            dst.put_raw(key, data)
+        transferred += 1
+        transferred_bytes += len(data)
+        if progress is not None:
+            action = "would copy" if dry_run else "copied"
+            progress(f"{action} {key} ({len(data)} bytes)")
+    return TransferSummary(
+        source=_label(source),
+        destination=_label(destination),
+        considered=len(keys),
+        filtered=len(keys) - len(selected),
+        skipped=len(selected) - len(missing),
+        transferred=transferred,
+        transferred_bytes=transferred_bytes,
+        dry_run=dry_run,
+    )

@@ -6,7 +6,18 @@ leave only orphaned temp files, corrupt entries miss and heal — and this
 module provides the machinery the test suite uses to attack it:
 
 * :func:`corrupt_entry` — damage a published entry in place (garbage,
-  truncation, emptying, or a wrong schema version).
+  truncation, emptying, or a wrong schema version).  Backend-generic:
+  it writes the damage through the store's own backend, so the same
+  attack runs against a local directory and an object store.
+* :func:`make_cas` / :func:`object_store_cas` — backend factories for
+  parametrizing one test body over ``LocalDirBackend`` and
+  ``ObjectStoreBackend``-over-``FakeObjectStore``; the fake client's
+  fault hooks (``fail_next``, ``tear_next_put``, ``latency_s``,
+  ``calls``) are reachable as ``cas.backend.client``.
+* :func:`race_thread_writers` — threaded analog of :func:`race_writers`
+  for in-memory object stores (forked processes cannot share one
+  ``FakeObjectStore``, threads can — and the fake client is
+  thread-safe, so the race is real).
 * :func:`spawn_killable_writer` / :func:`kill_between_tmp_and_rename` —
   run a real ``put`` in a child process whose ``os.replace`` is hijacked
   to signal the parent and stall, then SIGKILL it *between* the temp
@@ -50,31 +61,66 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CORRUPTION_MODES = ("garbage", "truncate", "empty", "schema")
 
 
-def corrupt_entry(cas, key: str, mode: str = "garbage") -> Path:
-    """Damage the published entry for ``key`` in place; returns its path.
+def corrupt_entry(cas, key: str, mode: str = "garbage") -> str:
+    """Damage the published entry for ``key`` in place; returns its
+    store-relative name.
 
     ``garbage`` overwrites with non-JSON bytes, ``truncate`` chops the
-    valid JSON mid-way (simulating a partially-flushed page), ``empty``
-    truncates to zero bytes, and ``schema`` rewrites the entry with a
-    wrong ``schema`` version.  All four must read back as a miss.
+    valid JSON mid-way (simulating a partially-flushed page or a torn
+    blob upload), ``empty`` truncates to zero bytes, and ``schema``
+    rewrites the entry with a wrong ``schema`` version.  All four must
+    read back as a miss.  The damage goes through the store's own
+    backend primitives, so the same attack works against a local
+    directory and an object store.
     """
     if mode not in CORRUPTION_MODES:
         raise ValueError(f"unknown corruption mode {mode!r}")
-    path = cas.path_for(key)
+    rel = cas._rel_for(key)
     if mode == "garbage":
-        path.write_bytes(b"{this is not json\x00\xff")
+        data = b"{this is not json\x00\xff"
     elif mode == "truncate":
-        data = path.read_bytes()
-        path.write_bytes(data[:max(1, len(data) // 2)])
+        published = cas.backend.read_bytes(rel)
+        data = published[:max(1, len(published) // 2)]
     elif mode == "empty":
-        path.write_bytes(b"")
-    elif mode == "schema":
+        data = b""
+    else:  # schema
         from repro.explore.store import CACHE_SCHEMA_VERSION
 
         entry = {"schema": CACHE_SCHEMA_VERSION + 1000, "key": key,
                  "record": {"stale": True}}
-        path.write_text(json.dumps(entry), encoding="utf-8")
-    return path
+        data = json.dumps(entry).encode("utf-8")
+    cas.backend.write_bytes_atomic(rel, data)
+    return rel
+
+
+def object_store_cas(latency_s: float = 0.0, page_size: int = 1000,
+                     label: str = "mem://fault-test"):
+    """A fresh ``ArtifactCAS`` over an isolated ``FakeObjectStore``.
+
+    The fake client (fault hooks, call counters) is reachable as
+    ``cas.backend.client``; each call returns an independent store.
+    """
+    from repro.explore.store import (ArtifactCAS, FakeObjectStore,
+                                     ObjectStoreBackend)
+
+    client = FakeObjectStore(latency_s=latency_s, page_size=page_size)
+    return ArtifactCAS(backend=ObjectStoreBackend(client, label=label))
+
+
+def make_cas(kind: str, tmp_path: Path):
+    """A fresh ``ArtifactCAS`` over the named backend ``kind``.
+
+    ``"local"`` roots a ``LocalDirBackend`` store under ``tmp_path``;
+    ``"object"`` returns an isolated in-memory object store — the two
+    parameters of the backend-parametrized fault suites.
+    """
+    if kind == "local":
+        from repro.explore.store import ArtifactCAS
+
+        return ArtifactCAS(Path(tmp_path) / "store")
+    if kind == "object":
+        return object_store_cas()
+    raise ValueError(f"unknown backend kind {kind!r}")
 
 
 # ----------------------------------------------------------------------
@@ -220,6 +266,51 @@ def race_writers(root: Path, key_sets: Sequence[Sequence[str]],
     result = list(errors)
     manager.shutdown()
     return result
+
+
+def race_thread_writers(cas, key_sets: Sequence[Sequence[str]],
+                        rounds: int = 10,
+                        timeout_s: float = 120.0) -> List[str]:
+    """Race one writer thread per key set against a single store.
+
+    The threaded analog of :func:`race_writers` for in-memory object
+    stores: forked processes cannot share one ``FakeObjectStore``, but
+    its client is thread-safe, so overlapping put/get hammering from
+    threads exercises the same last-writer-wins-with-identical-bytes
+    contract.  Returns observed violations (empty on success).
+    """
+    import threading
+
+    barrier = threading.Barrier(len(key_sets))
+    errors: List[str] = []
+    lock = threading.Lock()
+
+    def writer(keys: Sequence[str]) -> None:
+        try:
+            barrier.wait(timeout=timeout_s)
+            for _ in range(rounds):
+                for key in keys:
+                    cas.put(key, expected_record(key))
+                    loaded = cas.get(key)
+                    if loaded != expected_record(key):
+                        with lock:
+                            errors.append(f"thread {threading.get_ident()}: "
+                                          f"torn/lost read of {key!r}: "
+                                          f"{loaded!r}")
+        except Exception as exc:  # pragma: no cover - only on failure
+            with lock:
+                errors.append(f"thread {threading.get_ident()}: "
+                              f"{type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=writer, args=(list(keys),))
+               for keys in key_sets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+        if thread.is_alive():
+            errors.append("writer thread timed out")
+    return errors
 
 
 # ----------------------------------------------------------------------

@@ -204,6 +204,99 @@ class TestCacheCommand:
         assert "Removed 2 cache entries" in wipe.stdout
 
 
+class TestCachePushPullCLI:
+    """``repro cache push/pull``: store-to-store record exchange."""
+
+    @staticmethod
+    def _seed_store(root, keys):
+        from repro.explore.store import ArtifactCAS
+
+        cas = ArtifactCAS(root)
+        for key in keys:
+            cas.put(key, {"key": key, "payload": key[::-1]})
+        return cas
+
+    def test_push_transfers_and_repush_is_idempotent(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        self._seed_store(src, [f"{i:02x}{'a' * 62}" for i in range(3)])
+        first = run_cli("cache", "push", str(src), str(dst), "--quiet")
+        assert f"Pushed 3 record(s)" in first.stdout
+        assert "0 already present, 0 filtered out" in first.stdout
+        stats = run_cli("cache", "stats", "--cache-dir", str(dst))
+        assert "Entries         : 3" in stats.stdout
+        again = run_cli("cache", "push", str(src), str(dst), "--quiet")
+        assert "Pushed 0 record(s) (0 bytes)" in again.stdout
+        assert "3 already present" in again.stdout
+
+    def test_pull_round_trip_is_byte_identical(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        keys = [f"{i:02x}{'b' * 62}" for i in range(2)]
+        cas = self._seed_store(src, keys)
+        proc = run_cli("cache", "pull", str(src), str(dst))
+        assert "Pulled 2 record(s)" in proc.stdout
+        assert proc.stderr.count("copied") == 2  # per-record progress
+        from repro.explore.store import ArtifactCAS
+
+        pulled = ArtifactCAS(dst)
+        for key in keys:
+            assert pulled.get_raw(key) == cas.get_raw(key)
+
+    def test_dry_run_mutates_nothing(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        self._seed_store(src, ["ab" + "1" * 62, "cd" + "2" * 62])
+        dst.mkdir()
+        proc = run_cli("cache", "push", str(src), str(dst),
+                       "--dry-run", "--quiet")
+        assert "Would push 2 record(s)" in proc.stdout
+        assert list(dst.iterdir()) == []  # nothing written
+        stats = run_cli("cache", "stats", "--cache-dir", str(dst))
+        assert "Entries         : 0" in stats.stdout
+
+    def test_match_filters_keys(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        self._seed_store(src, ["ab" + "1" * 62, "ab" + "2" * 62,
+                               "cd" + "3" * 62])
+        proc = run_cli("cache", "push", str(src), str(dst),
+                       "--match", "ab*", "--quiet")
+        assert "Pushed 2 record(s)" in proc.stdout
+        assert "1 filtered out" in proc.stdout
+
+    def test_summary_line_format_is_pinned(self, tmp_path):
+        import re
+
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        self._seed_store(src, ["ab" + "9" * 62])
+        proc = run_cli("cache", "push", str(src), str(dst), "--quiet")
+        assert re.fullmatch(
+            rf"Pushed 1 record\(s\) \(\d+ bytes\) from {re.escape(str(src))} "
+            rf"to {re.escape(str(dst))}; 0 already present, 0 filtered out",
+            proc.stdout.strip())
+
+    def test_missing_source_is_a_clean_error(self, tmp_path):
+        proc = run_cli("cache", "push", str(tmp_path / "nope"),
+                       str(tmp_path / "dst"), "--quiet", check=False)
+        assert proc.returncode == 2
+        assert "error: store not found" in proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert not (tmp_path / "dst").exists()  # failure wrote nothing
+
+    def test_unknown_scheme_is_a_clean_error(self, tmp_path):
+        proc = run_cli("cache", "push", "bogus://x",
+                       str(tmp_path / "dst"), "--quiet", check=False)
+        assert proc.returncode == 2
+        assert "error: unknown store scheme 'bogus'" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_stats_and_prune_work_on_object_store_specs(self):
+        """The maintenance verbs route through the backend scan, so a
+        non-directory (mem://) store spec works end to end."""
+        stats = run_cli("cache", "stats", "--cache-dir", "mem://cli-empty")
+        assert "Cache directory : mem://cli-empty" in stats.stdout
+        assert "Entries         : 0" in stats.stdout
+        prune = run_cli("cache", "prune", "--cache-dir", "mem://cli-empty")
+        assert "Removed 0 cache entries from mem://cli-empty" in prune.stdout
+
+
 class TestRobustnessCLI:
     def test_run_writes_reports_and_caches(self, tmp_path):
         json_path = tmp_path / "robustness.json"

@@ -21,9 +21,11 @@ class TestSweepCache:
         assert cache.hits == 1
         assert cache.misses == 0
 
-    def test_creates_directory(self, tmp_path):
+    def test_creates_directory_lazily_on_first_write(self, tmp_path):
         target = tmp_path / "nested" / "cache"
-        SweepCache(target)
+        cache = SweepCache(target)
+        assert not target.exists()  # opening a store has no side effects
+        cache.put("abc123", {"x": 1})
         assert target.is_dir()
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):

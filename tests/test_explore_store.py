@@ -23,7 +23,10 @@ from repro.explore.store import (
     MAX_VALIDATE_BYTES,
     SHARD_PREFIX_LEN,
     ArtifactCAS,
+    FakeObjectStore,
     LocalDirBackend,
+    ObjectStoreBackend,
+    open_store,
 )
 
 KEY = "0f" + "a1" * 31  # a realistic 64-hex-char content hash
@@ -348,3 +351,197 @@ class TestShardPointsProperties:
             shard_points(points, (0, 2))
         with pytest.raises(ValueError, match="invalid shard"):
             shard_points(points, (3, 2))
+
+
+def _object_cas(page_size=1000, latency_s=0.0):
+    """A fresh ArtifactCAS over an isolated FakeObjectStore."""
+    client = FakeObjectStore(page_size=page_size, latency_s=latency_s)
+    return ArtifactCAS(backend=ObjectStoreBackend(client, label="mem://unit"))
+
+
+class TestObjectStoreBackend:
+    def test_round_trip_and_layout_match_the_local_store(self, tmp_path):
+        """The same puts produce byte-identical entries under the same
+        store-relative names on both backends."""
+        local = ArtifactCAS(tmp_path / "local")
+        remote = _object_cas()
+        keys = [f"{i:02x}{'e' * 62}" for i in range(4)]
+        for key in keys:
+            local.put(key, {"k": key})
+            remote.put(key, {"k": key})
+        assert remote.keys() == local.keys()
+        for key in keys:
+            assert remote.get_raw(key) == local.get_raw(key)
+            assert remote.get(key) == {"k": key}
+
+    def test_delete_len_clear(self):
+        cas = _object_cas()
+        keys = [f"{i:02x}{'e' * 62}" for i in range(3)]
+        for key in keys:
+            cas.put(key, {"k": key})
+        assert len(cas) == 3
+        assert cas.delete(keys[0]) is True
+        assert cas.delete(keys[0]) is False
+        assert len(cas) == 2
+        assert cas.clear() == 2
+        assert cas.keys() == []
+
+    def test_stats_and_prune_ride_the_scan_primitive(self):
+        cas = _object_cas()
+        key = "ab" + "c" * 62
+        cas.put(key, {"v": 1})
+        stats = cas.stats()
+        assert stats["entries"] == 1
+        assert stats["stale_entries"] == 0
+        assert stats["tmp_files"] == 0
+        assert stats["directory"] == "mem://unit"
+        # A wrong-schema blob is stale and reclaimable, like on disk.
+        entry = {"schema": CACHE_SCHEMA_VERSION + 7, "key": key, "record": {}}
+        cas.backend.write_bytes_atomic(cas._rel_for(key),
+                                       json.dumps(entry).encode())
+        assert cas.stats()["stale_entries"] == 1
+        assert cas.prune() == 1
+        assert len(cas) == 0
+
+    def test_path_for_is_a_clean_error(self):
+        cas = _object_cas()
+        with pytest.raises(TypeError, match="directory backend"):
+            cas.path_for("ab" + "c" * 62)
+
+    def test_prefix_namespaces_one_client(self):
+        """Two stores sharing one client under different prefixes are
+        fully isolated."""
+        client = FakeObjectStore()
+        a = ArtifactCAS(backend=ObjectStoreBackend(client, prefix="team-a"))
+        b = ArtifactCAS(backend=ObjectStoreBackend(client, prefix="team-b"))
+        key = "ab" + "d" * 62
+        a.put(key, {"who": "a"})
+        assert a.get(key) == {"who": "a"}
+        assert b.get(key) is None
+        assert b.keys() == []
+        assert a.keys() == [key]
+
+
+class TestProbeMany:
+    @pytest.mark.parametrize("make", ["local", "object"])
+    def test_probe_many_equals_per_key_contains(self, tmp_path, make):
+        cas = (ArtifactCAS(tmp_path / "s") if make == "local"
+               else _object_cas())
+        stored = [f"{i:02x}{'a' * 62}" for i in range(5)]
+        absent = [f"{i:02x}{'b' * 62}" for i in range(5)]
+        for key in stored:
+            cas.put(key, {"k": key})
+        probe = cas.probe_many(stored + absent)
+        assert probe == {k: cas.contains(k) for k in stored + absent}
+        assert all(probe[k] for k in stored)
+        assert not any(probe[k] for k in absent)
+
+    def test_local_probe_many_sees_legacy_flat_entries(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        key = "ab" + "1" * 62
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": {"v": 1}}
+        (tmp_path / f"{key}.json").write_text(json.dumps(entry))
+        assert cas.probe_many([key]) == {key: True}
+        assert cas.diff([key]) == []
+
+    def test_object_probe_many_issues_list_pages_not_heads(self):
+        """The O(pages) pin: probing a whole grid costs paginated LIST
+        calls only — zero per-key HEAD round trips."""
+        cas = _object_cas(page_size=3)
+        keys = [f"{i:02x}{'a' * 62}" for i in range(8)]
+        for key in keys:
+            cas.put(key, {"k": key})
+        client = cas.backend.client
+        client.calls.clear()
+        probe = cas.probe_many(keys + ["ff" + "f" * 62])
+        assert sum(probe.values()) == 8
+        assert client.calls["head"] == 0
+        assert client.calls["get"] == 0
+        # 8 blobs at page_size 3 -> 3 pages.
+        assert client.calls["list"] == 3
+
+    def test_local_probe_many_scans_each_shard_dir_once(self, tmp_path,
+                                                        monkeypatch):
+        cas = ArtifactCAS(tmp_path)
+        # 6 keys across 2 shard dirs.
+        keys = [f"{p}{c}{'a' * 62}" for p in ("ab", "cd") for c in "123"]
+        for key in keys:
+            cas.put(key, {"k": key})
+        calls = []
+        real_scandir = os.scandir
+
+        def counting_scandir(path):
+            calls.append(str(path))
+            return real_scandir(path)
+
+        monkeypatch.setattr(os, "scandir", counting_scandir)
+        missing = cas.diff(keys)
+        assert missing == []
+        # One scandir per touched shard directory (no legacy pass needed:
+        # every key resolved in the sharded batch).
+        assert len(calls) == 2
+
+    def test_diff_batches_but_keeps_duplicates_and_order(self):
+        cas = _object_cas()
+        present = "ab" + "a" * 62
+        missing = "cd" + "b" * 62
+        cas.put(present, {"v": 1})
+        assert cas.diff([missing, present, missing]) == [missing, missing]
+
+
+class TestOpenStore:
+    def test_path_and_file_scheme(self, tmp_path):
+        cas = open_store(tmp_path / "dir")
+        assert isinstance(cas.backend, LocalDirBackend)
+        cas2 = open_store(f"file://{tmp_path}/dir2")
+        assert isinstance(cas2.backend, LocalDirBackend)
+
+    def test_existing_store_passes_through(self, tmp_path):
+        cas = ArtifactCAS(tmp_path)
+        assert open_store(cas) is cas
+
+    def test_mem_scheme_is_shared_per_name(self):
+        a = open_store("mem://open-store-test")
+        b = open_store("mem://open-store-test")
+        other = open_store("mem://open-store-other")
+        key = "ab" + "e" * 62
+        a.put(key, {"v": 1})
+        assert b.get(key) == {"v": 1}  # same registry entry
+        assert other.get(key) is None
+        assert str(a.directory) == "mem://open-store-test"
+
+    def test_opening_a_spec_has_no_side_effects(self, tmp_path):
+        target = tmp_path / "never-written"
+        open_store(target)
+        assert not target.exists()
+
+    def test_must_exist_guards(self, tmp_path):
+        with pytest.raises(ValueError, match="store not found"):
+            open_store(tmp_path / "missing", must_exist=True)
+        with pytest.raises(ValueError, match="store not found"):
+            open_store("mem://never-opened-before-xyz", must_exist=True)
+        # An opened mem store satisfies must_exist from then on.
+        open_store("mem://now-opened").put("ab" + "f" * 62, {})
+        open_store("mem://now-opened", must_exist=True)
+
+    def test_unknown_scheme_and_bad_s3_spec(self):
+        with pytest.raises(ValueError, match="unknown store scheme"):
+            open_store("gopher://hole")
+        with pytest.raises(ValueError, match="invalid s3 store spec"):
+            open_store("s3://")
+
+    def test_s3_scheme_without_sdk_is_a_clean_error(self, monkeypatch):
+        """With boto3 unimportable, s3:// specs raise one line naming the
+        missing SDK (the import stays lazy, so this module still works)."""
+        import builtins
+
+        real_import = builtins.__import__
+
+        def no_boto3(name, *args, **kwargs):
+            if name == "boto3":
+                raise ImportError("No module named 'boto3'")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_boto3)
+        with pytest.raises(ValueError, match="boto3"):
+            open_store("s3://bucket/prefix")
