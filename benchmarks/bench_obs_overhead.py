@@ -1,0 +1,97 @@
+"""Observability overhead — the disabled-tracing fast path must be free.
+
+The ``repro.obs.trace`` contract (``docs/OBSERVABILITY.md``) is that
+instrumented hot paths — flow stages, CAS lookups, payload execution —
+cost nothing measurable when no tracer is installed: ``trace.span``
+returns a shared no-op singleton and never allocates.
+
+Wall-clock A/B runs of a whole sweep are too noisy to gate a ≤2% bound
+in CI, so the check is assembled from deterministic parts instead:
+
+1. microbenchmark the *disabled* span call (``trace.span(...)`` with no
+   tracer installed) to get a per-call cost,
+2. run one traced design flow to count how many spans a real flow
+   actually emits and how long the flow takes,
+3. project the disabled-mode overhead as
+   ``per_span_cost × spans_per_flow ÷ flow_elapsed``.
+
+The projection is an upper bound on what disabled tracing can add to a
+flow-shaped workload, without the run-to-run variance of comparing two
+full sweeps.  Emits ``BENCH_obs_overhead.json`` for the CI floor gate.
+"""
+
+import time
+
+import pytest
+
+from benchutils import emit_json, print_series
+
+#: Disabled-span microbenchmark iterations (sub-µs each — keep it quick).
+SPAN_ITERATIONS = 200_000
+
+
+def _disabled_span_cost_ns():
+    """Median-of-5 per-call cost of ``trace.span`` with tracing off."""
+    from repro.obs import trace
+
+    assert trace.active() is None, "benchmark needs tracing disabled"
+    span = trace.span
+    timings = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(SPAN_ITERATIONS):
+            with span("bench.noop"):
+                pass
+        timings.append(time.perf_counter() - t0)
+    timings.sort()
+    return timings[2] / SPAN_ITERATIONS * 1e9
+
+
+def _traced_flow(tmp_path):
+    """One traced design flow: returns (span_count, flow_elapsed_s)."""
+    from repro.core.spec import paper_chain_spec
+    from repro.flow import run_design_flow
+    from repro.obs import trace
+
+    path = str(tmp_path / "flow-trace.jsonl")
+    t0 = time.perf_counter()
+    with trace.tracing(path):
+        run_design_flow(spec=paper_chain_spec(), measure_activity=False)
+    elapsed_s = time.perf_counter() - t0
+    spans = trace.read_spans(path)
+    trace.validate_spans(spans)
+    return len(spans), elapsed_s
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_disabled_overhead(benchmark, tmp_path):
+    from repro.obs import trace
+
+    per_span_ns = benchmark.pedantic(
+        _disabled_span_cost_ns, rounds=1, iterations=1)
+    spans_per_flow, flow_elapsed_s = _traced_flow(tmp_path)
+
+    # What the disabled-mode instrumentation would add to this flow.
+    overhead_s = per_span_ns * 1e-9 * spans_per_flow
+    overhead_pct = 100.0 * overhead_s / max(flow_elapsed_s, 1e-9)
+
+    print_series("Observability — disabled-tracing overhead",
+                 ["quantity", "value", ""],
+                 [("disabled span cost (ns)", round(per_span_ns, 1),
+                   f"median over 5x{SPAN_ITERATIONS} calls"),
+                  ("spans per design flow", spans_per_flow,
+                   "counted from a traced run"),
+                  ("flow elapsed (s)", round(flow_elapsed_s, 4), ""),
+                  ("projected overhead", f"{overhead_pct:.4f}%",
+                   "per-span cost x span count / flow time")])
+    emit_json("obs_overhead", {
+        "per_span_ns_disabled": per_span_ns,
+        "span_iterations": SPAN_ITERATIONS,
+        "spans_per_flow": spans_per_flow,
+        "flow_elapsed_s": flow_elapsed_s,
+        "overhead_pct": overhead_pct,
+    })
+
+    assert trace.active() is None
+    assert spans_per_flow > 0
+    assert overhead_pct <= 2.0

@@ -31,6 +31,11 @@ Every workload in ``examples/`` is reproducible from the shell:
 * ``client`` — send one request to a running daemon and relay its
   stdout/stderr/exit code, byte-identical to running the same subcommand
   directly.
+* ``trace``  — ``summarize`` a JSON-lines span trace written by the
+  ``--trace FILE`` flag of ``sweep``/``scenario``/``robustness``/``serve``
+  into a per-stage time/hit-rate breakdown table (see
+  ``docs/OBSERVABILITY.md``).  Tracing is strictly out-of-band: reports
+  are byte-identical with or without it.
 
 Argument errors (bad ``--jobs``, unknown scenarios, missing report files)
 print a one-line ``error: ...`` message and exit with code 2; only
@@ -45,13 +50,15 @@ printed (:func:`run_command` is the shared entry point).
 See ``docs/GUIDE.md`` for a task-oriented walkthrough,
 ``docs/SCENARIOS.md`` for the scenario catalog,
 ``docs/ROBUSTNESS.md`` for the perturbation-axis model,
-``docs/SERVING.md`` for the service protocol and
+``docs/SERVING.md`` for the service protocol,
+``docs/OBSERVABILITY.md`` for the tracing/metrics layer and
 ``docs/PERFORMANCE.md`` for the engine/executor guide.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -149,6 +156,17 @@ def _add_execution_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="on-disk result cache directory "
                              "(default: no cache)")
+    _add_trace_argument(parser)
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--trace FILE`` span-export flag (sweep/scenario/robustness
+    runs and the serve daemon)."""
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="append JSON-lines spans of this run to FILE "
+                             "(out-of-band — reports are byte-identical "
+                             "with or without it; inspect with "
+                             "'trace summarize FILE')")
 
 
 def _add_report_arguments(parser: argparse.ArgumentParser,
@@ -280,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the markdown report to FILE")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-point progress lines")
+    _add_trace_argument(sweep)
 
     scenario = sub.add_parser(
         "scenario", help="run or check the multi-standard scenario suite")
@@ -444,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-response write budget; a client that "
                             "stops reading loses its connection, not a "
                             "worker (default: 30)")
+    _add_trace_argument(serve)
 
     client = sub.add_parser(
         "client", help="send one request to a running 'repro serve' daemon")
@@ -469,9 +489,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="request verb: a repro subcommand (design, "
                              "verify, sweep, scenario, robustness, report, "
                              "cache) or a service verb (ping, stats, "
-                             "health, drain, shutdown)")
+                             "health, metrics, drain, shutdown)")
     client.add_argument("args", nargs=argparse.REMAINDER, metavar="ARGS",
                         help="arguments forwarded verbatim to the verb")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect JSON-lines span traces written by --trace")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="per-stage time and cache-hit-rate breakdown "
+                          "of one trace file")
+    trace_summarize.add_argument("trace_file", metavar="TRACE",
+                                 help="trace file written by --trace FILE")
+    trace_summarize.add_argument("--format", default="table",
+                                 choices=["table", "json"],
+                                 help="output format (default: table)")
     return parser
 
 
@@ -546,6 +578,37 @@ def _shared_store(args: argparse.Namespace):
     """The daemon's hot artifact store threaded through :func:`run_command`
     (``None`` for plain CLI invocations: each run owns a fresh store)."""
     return getattr(args, "shared_store", None)
+
+
+@contextlib.contextmanager
+def _maybe_trace(args: argparse.Namespace):
+    """Install a span tracer for this invocation when ``--trace FILE``
+    was given.
+
+    Tracing is strictly out-of-band — the traced command's stdout,
+    stderr and report files are byte-identical with or without it.  The
+    previous tracer is restored on exit (a served request never clobbers
+    the daemon's own tracer), the file is closed, and process-pool
+    worker side files are folded into FILE so one file holds the whole
+    run.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from repro.obs import trace as obs_trace
+
+    try:
+        tracer = obs_trace.Tracer(path)
+    except OSError as exc:
+        raise CLIError(f"cannot open trace file {path}: {exc}")
+    previous = obs_trace.install(tracer)
+    try:
+        yield
+    finally:
+        obs_trace.uninstall(previous)
+        tracer.close()
+        obs_trace.merge_worker_traces(path)
 
 
 def _cmd_design(args: argparse.Namespace, io: CommandIO) -> int:
@@ -1098,6 +1161,25 @@ def _cmd_client(args: argparse.Namespace, io: CommandIO) -> int:
     return int(response.get("exit_code", 2))
 
 
+def _cmd_trace(args: argparse.Namespace, io: CommandIO) -> int:
+    from repro.obs import trace as obs_trace
+
+    _require_file(args.trace_file, "trace file")
+    try:
+        spans = obs_trace.read_spans(args.trace_file)
+        obs_trace.validate_spans(spans)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+        raise CLIError(f"invalid trace file {args.trace_file}: {exc}")
+    if not spans:
+        raise CLIError(f"trace file {args.trace_file} holds no spans")
+    if args.format == "json":
+        io.out(json.dumps(obs_trace.summarize_spans(spans),
+                          indent=2, sort_keys=True))
+    else:
+        io.out(obs_trace.summarize_text(spans))
+    return 0
+
+
 _HANDLERS = {
     "design": _cmd_design,
     "verify": _cmd_verify,
@@ -1108,6 +1190,7 @@ _HANDLERS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "client": _cmd_client,
+    "trace": _cmd_trace,
 }
 
 
@@ -1137,7 +1220,8 @@ def run_command(argv: Optional[Sequence[str]] = None,
             return code if isinstance(code, int) else 2
         args.shared_store = store
         try:
-            return _HANDLERS[args.command](args, io)
+            with _maybe_trace(args):
+                return _HANDLERS[args.command](args, io)
         except CLIError as exc:
             io.err(f"error: {exc}")
             return 2

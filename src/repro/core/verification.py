@@ -15,6 +15,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import trace
+
 
 @dataclass
 class CheckResult:
@@ -116,19 +118,22 @@ def verify_chain(chain, include_snr: bool = False,
         definitions (:mod:`repro.scenarios`) pin these explicitly so their
         golden records are self-describing.
     """
-    if artifacts is not None:
-        key = ("verify-mask", _mask_fingerprint(chain, passband_fraction))
-        report = artifacts.get_or_compute(
-            key, lambda: _verify_mask(chain, passband_fraction), copy=True)
-    else:
-        report = _verify_mask(chain, passband_fraction)
+    with trace.span("flow.verify.mask", memoized=artifacts is not None):
+        if artifacts is not None:
+            key = ("verify-mask", _mask_fingerprint(chain, passband_fraction))
+            report = artifacts.get_or_compute(
+                key, lambda: _verify_mask(chain, passband_fraction), copy=True)
+        else:
+            report = _verify_mask(chain, passband_fraction)
 
     if include_snr:
         dec = chain.spec.decimator
-        snr = simulated_output_snr(chain, n_samples=snr_samples,
-                                   tone_hz=snr_tone_hz,
-                                   amplitude=snr_amplitude,
-                                   backend=backend, artifacts=artifacts)
+        with trace.span("flow.verify.snr", n_samples=snr_samples,
+                        backend=backend):
+            snr = simulated_output_snr(chain, n_samples=snr_samples,
+                                       tone_hz=snr_tone_hz,
+                                       amplitude=snr_amplitude,
+                                       backend=backend, artifacts=artifacts)
         report.add("end-to-end SNR (bit-true chain)", snr, dec.target_snr_db - 3.0, ">=")
         report.metadata["simulated_snr_db"] = snr
 

@@ -42,6 +42,7 @@ from repro.explore.store import CACHE_SCHEMA_VERSION, ArtifactCAS, open_store
 from repro.explore.pareto import DEFAULT_OBJECTIVES, Objective, pareto_rank
 from repro.explore.sweep import SweepPoint, SweepSpec
 from repro.flow.artifacts import ArtifactStore
+from repro.obs import trace
 
 #: Executor names accepted by :func:`run_sweep` / :func:`execute_payloads`.
 EXECUTORS = ("auto", "inline", "thread", "process")
@@ -55,12 +56,15 @@ _WORKER_STORE: Optional[ArtifactStore] = None
 _WORKER_TASK: Optional[Callable[[dict, Optional[ArtifactStore]], dict]] = None
 
 
-def _init_worker(store: ArtifactStore, task: Optional[Callable] = None) -> None:
-    """Process-pool initializer: install the pre-warmed artifact store
-    and the payload task for this worker."""
+def _init_worker(store: ArtifactStore, task: Optional[Callable] = None,
+                 trace_spec: Optional[dict] = None) -> None:
+    """Process-pool initializer: install the pre-warmed artifact store,
+    the payload task and (when the parent run is traced) a worker-side
+    tracer writing this worker's span side file."""
     global _WORKER_STORE, _WORKER_TASK
     _WORKER_STORE = store
     _WORKER_TASK = task
+    trace.install_from_spec(trace_spec)
 
 
 def run_flow_payload(payload: dict,
@@ -97,6 +101,20 @@ def run_flow_payload(payload: dict,
     )
 
 
+def format_progress_timing(elapsed_s: float, completed: int,
+                           total: int) -> str:
+    """``elapsed Xs, eta ~Ys`` suffix for ``[run i/N]`` progress lines.
+
+    The ETA is the naive linear extrapolation ``elapsed * remaining /
+    completed`` — deliberately simple (point costs are roughly uniform
+    within a run), and shared by the sweep and scenario runners so both
+    progress streams read the same.
+    """
+    remaining = max(0, total - completed)
+    eta_s = elapsed_s * remaining / completed if completed else 0.0
+    return f"elapsed {elapsed_s:.1f}s, eta ~{eta_s:.1f}s"
+
+
 def flow_record(result) -> dict:
     """JSON-safe record of a flow result, with the SNR columns the
     sweep/scenario reports consume (linear-model prediction + simulated)."""
@@ -129,7 +147,8 @@ def _execute_payload_in_worker(payload: dict) -> tuple:
     its chunk, hence the before/after delta)."""
     task = _WORKER_TASK if _WORKER_TASK is not None else _execute_point
     before = _WORKER_STORE.stats() if _WORKER_STORE is not None else None
-    record = task(payload, _WORKER_STORE)
+    with trace.span("payload.execute", executor="process"):
+        record = task(payload, _WORKER_STORE)
     if before is None:
         return record, 0, 0
     after = _WORKER_STORE.stats()
@@ -199,20 +218,31 @@ def execute_payloads(payloads: Sequence[dict],
 
     if mode == "inline":
         for index, payload in enumerate(payloads):
-            finish(index, task(payload, store))
+            with trace.span("payload.execute", executor="inline",
+                            index=index):
+                record = task(payload, store)
+            finish(index, record)
     elif mode == "thread":
+        def run_one(indexed):
+            index, payload = indexed
+            with trace.span("payload.execute", executor="thread",
+                            index=index):
+                return task(payload, store)
+
         with ThreadPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
-            results = pool.map(lambda p: task(p, store), payloads)
+            results = pool.map(run_one, enumerate(payloads))
             for index, record in enumerate(results):
                 finish(index, record)
     elif mode == "process":
         if warm is not None:
             warm(store)
+        tracer = trace.active()
+        trace_spec = tracer.worker_spec() if tracer is not None else None
         n_workers = min(jobs, len(payloads))
         chunk = chunk_size or max(1, -(-len(payloads) // (n_workers * 4)))
         with ProcessPoolExecutor(max_workers=n_workers,
                                  initializer=_init_worker,
-                                 initargs=(store, task)) as pool:
+                                 initargs=(store, task, trace_spec)) as pool:
             results = pool.map(_execute_payload_in_worker, payloads,
                                chunksize=chunk)
             for index, (record, d_hits, d_misses) in enumerate(results):
@@ -220,6 +250,10 @@ def execute_payloads(payloads: Sequence[dict],
                 store.hits += d_hits
                 store.misses += d_misses
                 finish(index, record)
+        if tracer is not None:
+            # Fold the (now quiescent) worker side files into the main
+            # trace so one file holds every span of the run.
+            trace.merge_worker_traces(tracer.path)
     return records, mode, store
 
 
@@ -381,7 +415,8 @@ def run_sweep(sweep: SweepSpec,
         Standard-cell library name (``"generic-45nm"`` or ``"generic-90nm"``).
     progress:
         Optional callback invoked with one line per completed point
-        (``[cache] <label>`` for hits, ``[run i/N] <label>`` for misses).
+        (``[cache] <label>`` for hits, ``[run i/N] <label> (elapsed Xs,
+        eta ~Ys)`` for misses — see :func:`format_progress_timing`).
     jobs:
         Maximum concurrent point executions.  ``1`` always runs inline —
         no pool is created and nothing is pickled.
@@ -480,7 +515,10 @@ def run_sweep(sweep: SweepSpec,
         if cache is not None:
             cache.put(keys[point.index], record)
         if progress is not None:
-            progress(f"[run {completed}/{len(pending)}] {point.label}")
+            timing = format_progress_timing(time.perf_counter() - started,
+                                            completed, len(pending))
+            progress(f"[run {completed}/{len(pending)}] {point.label} "
+                     f"({timing})")
 
     def warm(store: ArtifactStore) -> None:
         # Warm the stages genuinely shared by >= 2 points once in the

@@ -65,6 +65,8 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.obs import trace
+
 __all__ = [
     "ArtifactCAS",
     "LocalDirBackend",
@@ -640,6 +642,7 @@ class ArtifactCAS:
         # Legacy flat-layout reads/migration need real files; keyed-blob
         # backends never held a flat layout, so they skip those probes.
         self._local = getattr(backend, "has_local_paths", True)
+        self._backend_kind = "local-dir" if self._local else "object-store"
         self.hits = 0
         self.misses = 0
 
@@ -716,26 +719,31 @@ class ArtifactCAS:
         legacy flat-layout entry transparently migrates the file into the
         sharded layout (atomic rename; concurrent migrators are benign).
         """
-        record = self._load(self._rel_for(key))
-        if record is None and self._local:
-            record = self._load(self._legacy_rel_for(key))
-            if record is not None:
-                self._migrate(key)
-        if record is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return record
+        with trace.span("cas.get", backend=self._backend_kind) as span:
+            record, nbytes = self._load(self._rel_for(key))
+            if record is None and self._local:
+                record, nbytes = self._load(self._legacy_rel_for(key))
+                if record is not None:
+                    self._migrate(key)
+            if record is None:
+                self.misses += 1
+                span.set(hit=False)
+                return None
+            self.hits += 1
+            span.set(hit=True, bytes=nbytes)
+            return record
 
-    def _load(self, rel: str) -> Optional[dict]:
-        """Parse + schema-validate one store-relative entry (no counters)."""
+    def _load(self, rel: str) -> Tuple[Optional[dict], int]:
+        """Parse + schema-validate one store-relative entry (no counters);
+        returns ``(record, entry_bytes)`` — ``(None, 0)`` on any miss."""
         try:
-            entry = json.loads(self.backend.read_bytes(rel))
+            data = self.backend.read_bytes(rel)
+            entry = json.loads(data)
         except (OSError, ValueError):
-            return None
+            return None, 0
         if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
-            return None
-        return entry.get("record")
+            return None, 0
+        return entry.get("record"), len(data)
 
     def _migrate(self, key: str) -> None:
         """Move a legacy flat entry into the sharded layout (best effort)."""
@@ -757,11 +765,13 @@ class ArtifactCAS:
         entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
         data = json.dumps(entry, sort_keys=True).encode("utf-8")
         rel = self._rel_for(key)
-        self.backend.write_bytes_atomic(rel, data)
-        # A published sharded entry supersedes any legacy flat twin.
-        legacy = self._legacy_rel_for(key)
-        if self._local and legacy != rel:
-            self.backend.delete(legacy)
+        with trace.span("cas.put", backend=self._backend_kind,
+                        bytes=len(data)):
+            self.backend.write_bytes_atomic(rel, data)
+            # A published sharded entry supersedes any legacy flat twin.
+            legacy = self._legacy_rel_for(key)
+            if self._local and legacy != rel:
+                self.backend.delete(legacy)
 
     def get_raw(self, key: str) -> Optional[bytes]:
         """Published entry bytes for ``key`` (sharded, then legacy flat),
@@ -804,17 +814,20 @@ class ArtifactCAS:
         backends, which is probed in a second batch for the misses only.
         """
         keys = list(keys)
-        rels = {key: self._rel_for(key) for key in keys}
-        hit = self.backend.probe_many(list(set(rels.values())))
-        present = {key: hit[rels[key]] for key in keys}
-        if self._local:
-            missing = [key for key in keys if not present[key]]
-            if missing:
-                legacy = {key: self._legacy_rel_for(key) for key in missing}
-                hit = self.backend.probe_many(list(set(legacy.values())))
-                for key in missing:
-                    present[key] = hit[legacy[key]]
-        return present
+        with trace.span("cas.probe_many", backend=self._backend_kind,
+                        n_keys=len(keys)) as span:
+            rels = {key: self._rel_for(key) for key in keys}
+            hit = self.backend.probe_many(list(set(rels.values())))
+            present = {key: hit[rels[key]] for key in keys}
+            if self._local:
+                missing = [key for key in keys if not present[key]]
+                if missing:
+                    legacy = {key: self._legacy_rel_for(key) for key in missing}
+                    hit = self.backend.probe_many(list(set(legacy.values())))
+                    for key in missing:
+                        present[key] = hit[legacy[key]]
+            span.set(n_present=sum(1 for v in present.values() if v))
+            return present
 
     def diff(self, keys: Iterable[str]) -> List[str]:
         """The subset of ``keys`` with no published entry, in input order.
@@ -847,7 +860,7 @@ class ArtifactCAS:
             return "stale"
         if stat.st_size > size_guard:
             return "stale"
-        return "entry" if self._load(rel) is not None else "stale"
+        return "entry" if self._load(rel)[0] is not None else "stale"
 
     def stats(self, size_guard: int = MAX_VALIDATE_BYTES) -> dict:
         """Summary of the on-disk store in one scan pass.

@@ -34,6 +34,7 @@ from repro.core.verification import (VerificationReport, modulator_tone_codes,
 from repro.flow.artifacts import ArtifactStore
 from repro.hardware.stdcell import GENERIC_45NM, StandardCellLibrary
 from repro.hardware.synthesis import SynthesisFlow, SynthesisReport
+from repro.obs import trace
 
 
 @dataclass
@@ -169,13 +170,15 @@ def run_design_flow(spec: Optional[ChainSpec] = None,
         the paper's bandwidth/4 tone at 0.95 x MSA from the spec.
     """
     spec = spec or paper_chain_spec()
-    chain = DecimationChain.design(spec, options, artifacts=artifacts)
+    with trace.span("flow.design", memoized=artifacts is not None):
+        chain = DecimationChain.design(spec, options, artifacts=artifacts)
     verification = verify_chain(chain, include_snr=include_snr_simulation,
                                 snr_samples=snr_samples, backend=backend,
                                 artifacts=artifacts,
                                 snr_tone_hz=snr_tone_hz,
                                 snr_amplitude=snr_amplitude)
-    synthesis = SynthesisFlow(library).run(chain, measure_activity=measure_activity)
+    with trace.span("flow.synthesis", measure_activity=measure_activity):
+        synthesis = SynthesisFlow(library).run(chain, measure_activity=measure_activity)
     snr = verification.metadata.get("simulated_snr_db")
     return FlowResult(
         spec=spec,

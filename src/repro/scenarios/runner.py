@@ -28,7 +28,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.explore.store import ArtifactCAS
-from repro.explore.runner import execute_payloads, flow_record, run_flow_payload
+from repro.explore.runner import (execute_payloads, flow_record,
+                                  format_progress_timing, run_flow_payload)
 from repro.flow.artifacts import ArtifactStore
 from repro.scenarios.registry import Scenario, resolve_scenarios
 
@@ -244,7 +245,8 @@ def run_scenario_suite(scenarios: Optional[Sequence[Union[str, Scenario]]] = Non
         engine); ``None`` disables caching.
     progress:
         Optional callback invoked with one line per completed scenario
-        (``[cache] <name>`` for hits, ``[run i/N] <name>`` for misses).
+        (``[cache] <name>`` for hits, ``[run i/N] <name> (elapsed Xs,
+        eta ~Ys)`` for misses).
     store:
         Optional shared artifact store (a fresh one is created per run).
     chunk_size:
@@ -285,8 +287,10 @@ def run_scenario_suite(scenarios: Optional[Sequence[Union[str, Scenario]]] = Non
         if cache is not None:
             cache.put(keys[index], record)
         if progress is not None:
+            timing = format_progress_timing(time.perf_counter() - started,
+                                            completed, len(pending))
             progress(f"[run {completed}/{len(pending)}] "
-                     f"{selected[index].name}")
+                     f"{selected[index].name} ({timing})")
 
     def warm(store: ArtifactStore) -> None:
         _warm_shared_stages([selected[i] for i in pending], store)

@@ -50,9 +50,10 @@ MAX_LINE_BYTES = 1 << 20
 COMMAND_VERBS = ("design", "verify", "sweep", "scenario", "robustness",
                  "report", "cache")
 
-#: Service control verbs handled by the daemon itself.  ``health`` and
-#: ``drain`` are answered on the event loop, never queued behind work.
-CONTROL_VERBS = ("ping", "stats", "health", "drain", "shutdown")
+#: Service control verbs handled by the daemon itself.  ``health``,
+#: ``metrics`` and ``drain`` are answered on the event loop, never
+#: queued behind work.
+CONTROL_VERBS = ("ping", "stats", "health", "metrics", "drain", "shutdown")
 
 #: Error-envelope kinds a client may retry: the request never executed
 #: (shed at admission) or reached a daemon that is going away.
@@ -60,7 +61,7 @@ RETRYABLE_ERROR_KINDS = ("overloaded", "draining")
 
 #: Verbs that are safe to resend: pure computations and read-only control
 #: verbs.  ``shutdown`` and ``drain`` change daemon state — never retried.
-IDEMPOTENT_VERBS = COMMAND_VERBS + ("ping", "stats", "health")
+IDEMPOTENT_VERBS = COMMAND_VERBS + ("ping", "stats", "health", "metrics")
 
 
 class ProtocolError(Exception):

@@ -53,6 +53,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.flow.artifacts import ArtifactStore
+from repro.obs import trace
 from repro.serve.coalesce import Coalescer
 from repro.serve.protocol import (MAX_LINE_BYTES, ProtocolError, encode_line,
                                   error_envelope, parse_request, request_key)
@@ -385,8 +386,9 @@ class ReproServer:
         and its response bytes reaching the socket."""
         self._writes_pending += 1
         try:
-            writer.write(encode_line(response).encode("utf-8"))
-            await asyncio.wait_for(writer.drain(), self.write_timeout_s)
+            with trace.span("serve.write"):
+                writer.write(encode_line(response).encode("utf-8"))
+                await asyncio.wait_for(writer.drain(), self.write_timeout_s)
             return True
         except asyncio.TimeoutError:
             self.telemetry.count_write_timeout()
@@ -397,10 +399,10 @@ class ReproServer:
     async def _handle_line(self, line: bytes) -> dict:
         """Parse and dispatch one request line; never raises.
 
-        Control verbs (``ping``/``stats``/``health``/``drain``/
-        ``shutdown``) are answered on the event loop — never queued behind
-        command work, so a balancer's health probe stays cheap however
-        deep the pool's backlog runs.
+        Control verbs (``ping``/``stats``/``health``/``metrics``/
+        ``drain``/``shutdown``) are answered on the event loop — never
+        queued behind command work, so a balancer's health probe stays
+        cheap however deep the pool's backlog runs.
         """
         started = time.perf_counter()
         try:
@@ -410,43 +412,54 @@ class ReproServer:
             return error_envelope(None if exc.kind == "bad-json" else
                                   self._request_id_of(line), exc.kind,
                                   str(exc))
-        if verb == "ping":
-            response = {"id": request_id, "ok": True, "exit_code": 0,
-                        "stdout": "pong\n", "stderr": "", "coalesced": False}
-        elif verb == "stats":
-            snapshot = self.stats_snapshot()
-            import json as _json
+        with trace.span("serve.request", verb=verb) as span:
+            if verb == "ping":
+                response = {"id": request_id, "ok": True, "exit_code": 0,
+                            "stdout": "pong\n", "stderr": "",
+                            "coalesced": False}
+            elif verb == "stats":
+                snapshot = self.stats_snapshot()
+                import json as _json
 
-            response = {"id": request_id, "ok": True, "exit_code": 0,
-                        "stdout": _json.dumps(snapshot, indent=2,
-                                              sort_keys=True) + "\n",
-                        "stderr": "", "coalesced": False, "stats": snapshot}
-        elif verb == "health":
-            health = self.health_snapshot()
-            import json as _json
+                response = {"id": request_id, "ok": True, "exit_code": 0,
+                            "stdout": _json.dumps(snapshot, indent=2,
+                                                  sort_keys=True) + "\n",
+                            "stderr": "", "coalesced": False,
+                            "stats": snapshot}
+            elif verb == "health":
+                health = self.health_snapshot()
+                import json as _json
 
-            response = {"id": request_id, "ok": True, "exit_code": 0,
-                        "stdout": _json.dumps(health, sort_keys=True) + "\n",
-                        "stderr": "", "coalesced": False, "health": health}
-        elif verb == "drain":
-            response = {"id": request_id, "ok": True, "exit_code": 0,
-                        "stdout": "draining\n", "stderr": "",
-                        "coalesced": False}
-            self._begin_drain()
-        elif verb == "shutdown":
-            response = {"id": request_id, "ok": True, "exit_code": 0,
-                        "stdout": "shutting down\n", "stderr": "",
-                        "coalesced": False}
-            self._shutdown_event.set()
-        elif self._draining:
-            self.telemetry.count_draining_rejection()
-            response = error_envelope(
-                request_id, "draining",
-                "server is draining and no longer accepts command "
-                "requests; retry against another instance")
-        else:
-            response = await self._execute(request_id, verb, args,
-                                           deadline_ms)
+                response = {"id": request_id, "ok": True, "exit_code": 0,
+                            "stdout": _json.dumps(health,
+                                                  sort_keys=True) + "\n",
+                            "stderr": "", "coalesced": False,
+                            "health": health}
+            elif verb == "metrics":
+                response = {"id": request_id, "ok": True, "exit_code": 0,
+                            "stdout": self.metrics_exposition(),
+                            "stderr": "", "coalesced": False}
+            elif verb == "drain":
+                response = {"id": request_id, "ok": True, "exit_code": 0,
+                            "stdout": "draining\n", "stderr": "",
+                            "coalesced": False}
+                self._begin_drain()
+            elif verb == "shutdown":
+                response = {"id": request_id, "ok": True, "exit_code": 0,
+                            "stdout": "shutting down\n", "stderr": "",
+                            "coalesced": False}
+                self._shutdown_event.set()
+            elif self._draining:
+                self.telemetry.count_draining_rejection()
+                response = error_envelope(
+                    request_id, "draining",
+                    "server is draining and no longer accepts command "
+                    "requests; retry against another instance")
+            else:
+                response = await self._execute(request_id, verb, args,
+                                               deadline_ms)
+            span.set(exit_code=int(response.get("exit_code", 2)),
+                     coalesced=bool(response.get("coalesced", False)))
         self.telemetry.observe(verb, int(response.get("exit_code", 2)),
                                time.perf_counter() - started)
         return response
@@ -530,6 +543,7 @@ class ReproServer:
             return task
 
         task, leader = self.coalescer.join(key, launch)
+        trace.record("serve.coalesce", 0.0, leader=leader, key=key)
         if deadline_ms is None:
             result = await asyncio.shield(task)
         else:
@@ -568,12 +582,15 @@ class ReproServer:
         event-loop submission instant, so the first thing a worker does is
         publish how long the request sat queued."""
         if submitted is not None:
-            self.telemetry.observe_queue_wait(time.perf_counter() - submitted)
+            waited_s = time.perf_counter() - submitted
+            self.telemetry.observe_queue_wait(waited_s)
+            trace.record("serve.queue_wait", waited_s)
         from repro.explore.runner import execute_payloads
 
-        records, _mode, _store = execute_payloads(
-            [{"argv": list(argv)}], task=execute_request_payload,
-            jobs=1, executor="inline", store=self.store)
+        with trace.span("serve.compute", verb=argv[0] if argv else ""):
+            records, _mode, _store = execute_payloads(
+                [{"argv": list(argv)}], task=execute_request_payload,
+                jobs=1, executor="inline", store=self.store)
         return records[0]
 
     # ------------------------------------------------------------------
@@ -592,6 +609,17 @@ class ReproServer:
                     "max_queue": self.max_queue,
                     "drain_grace_s": self.drain_grace_s},
         )
+
+    def metrics_exposition(self) -> str:
+        """The ``metrics`` verb payload: the telemetry registry rendered
+        in Prometheus text format, with scrape-time coalescer and
+        artifact-store gauges folded in."""
+        store_stats = self.store.stats()
+        store_stats["evictions"] = self.store.evictions
+        if self.store.max_entries is not None:
+            store_stats["max_entries"] = self.store.max_entries
+        return self.telemetry.exposition(coalesce=self.coalescer.stats(),
+                                         artifact_store=store_stats)
 
     def health_snapshot(self) -> dict:
         """The ``health`` verb payload: cheap enough for a balancer probe

@@ -1,19 +1,28 @@
 """Per-request telemetry of the design service, served on ``stats``.
 
-Counters are cheap enough to update on every request (one lock, a few
-integer bumps, one deque append) and are read only when a client asks:
-queue depth (requests submitted to the worker pool and not yet finished),
-per-verb request counts, error counts, and a bounded latency window from
-which the ``stats`` verb derives p50/p99 (nearest-rank over the most
-recent :data:`LATENCY_WINDOW` requests — a ring buffer, so a long-running
-daemon reports recent behavior, not its lifetime average).
+Counters are cheap enough to update on every request and are read only
+when a client asks: queue depth (requests submitted to the worker pool
+and not yet finished), per-verb request counts, error counts, and a
+bounded latency window from which the ``stats`` verb derives p50/p99
+(nearest-rank over the most recent :data:`LATENCY_WINDOW` requests — a
+ring buffer, so a long-running daemon reports recent behavior, not its
+lifetime average).  A second set of per-verb rings feeds the
+``latency_by_verb_ms`` breakdown.
+
+The scalar counters live in a :class:`repro.obs.metrics.MetricsRegistry`
+(one metric family per counter, Prometheus-exposable through the
+``metrics`` control verb via :meth:`ServeTelemetry.exposition`); the
+``stats`` verb's JSON snapshot is assembled *from* the registry and its
+shape is pinned byte-compatible by the protocol tests.  The percentile
+windows stay deque-based: nearest-rank percentiles over a bounded ring
+are exact, which bucketed histograms are not.
 
 The resilience layer (PR 8) adds its own accounting: shed requests
-(admission queue full), deadline timeouts, requests refused during drain,
-slow-client write timeouts, and a second ring of *queue-wait* samples —
-the time between a request's submission to the worker pool and the start
-of its execution — whose p50/p99 expose backpressure building up before
-latency does.
+(admission queue full), deadline timeouts, requests refused during
+drain, slow-client write timeouts, and a ring of *queue-wait* samples —
+the time between a request's submission to the worker pool and the
+start of its execution — whose p50/p99 expose backpressure building up
+before latency does.
 """
 
 from __future__ import annotations
@@ -23,6 +32,8 @@ import threading
 import time
 from collections import deque
 from typing import Deque, Dict, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["LATENCY_WINDOW", "ServeTelemetry", "percentile_nearest_rank"]
 
@@ -46,26 +57,76 @@ def percentile_nearest_rank(sorted_values: Sequence[float],
     return float(sorted_values[rank - 1])
 
 
-class ServeTelemetry:
-    """Thread-safe request counters + latency window for one daemon."""
+def _window_stats(window: Sequence[float]) -> dict:
+    """The pinned ``{count, p50, p99, max}`` block of a sorted ring."""
+    return {
+        "count": len(window),
+        "p50": round(percentile_nearest_rank(window, 0.50), 3),
+        "p99": round(percentile_nearest_rank(window, 0.99), 3),
+        "max": round(window[-1], 3) if window else 0.0,
+    }
 
-    def __init__(self, latency_window: int = LATENCY_WINDOW) -> None:
-        """``latency_window`` bounds the p50/p99 sample (ring buffer)."""
+
+class ServeTelemetry:
+    """Thread-safe request counters + latency windows for one daemon.
+
+    Scalar counters are registry metrics (scrapeable via
+    :meth:`exposition`); the percentile rings are plain deques.  Either
+    pass a shared :class:`~repro.obs.metrics.MetricsRegistry` or let the
+    telemetry own a fresh one (the default).
+    """
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        """``latency_window`` bounds every p50/p99 ring buffer."""
         self._lock = threading.Lock()
+        self._latency_window = latency_window
         self._latencies_ms: Deque[float] = deque(maxlen=latency_window)
         self._queue_waits_ms: Deque[float] = deque(maxlen=latency_window)
-        self._by_verb: Dict[str, int] = {}
-        self._total = 0
-        self._errors = 0
-        self._protocol_errors = 0
-        self._queue_depth = 0
-        self._peak_queue_depth = 0
-        self._shed = 0
-        self._deadline_timeouts = 0
-        self._draining_rejections = 0
-        self._write_timeouts = 0
-        self._draining = False
+        self._latencies_by_verb: Dict[str, Deque[float]] = {}
         self._started = time.monotonic()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_serve_requests_total",
+            "Completed requests (including coalesced joiners), by verb.",
+            labels=("verb",))
+        self._errors = reg.counter(
+            "repro_serve_errors_total",
+            "Requests that finished with a nonzero exit code.")
+        self._protocol_errors = reg.counter(
+            "repro_serve_protocol_errors_total",
+            "Request lines that never reached a handler.")
+        self._shed = reg.counter(
+            "repro_serve_shed_total",
+            "Requests refused at admission (queue full).")
+        self._deadline_timeouts = reg.counter(
+            "repro_serve_deadline_timeouts_total",
+            "Requests whose deadline_ms budget expired.")
+        self._draining_rejections = reg.counter(
+            "repro_serve_draining_rejections_total",
+            "Command requests refused while draining.")
+        self._write_timeouts = reg.counter(
+            "repro_serve_write_timeouts_total",
+            "Response writes dropped on a stalled client.")
+        self._queue_depth = reg.gauge(
+            "repro_serve_queue_depth",
+            "Requests submitted to the worker pool and not yet finished.")
+        self._peak_queue_depth = reg.gauge(
+            "repro_serve_peak_queue_depth",
+            "High-water mark of the worker-pool queue depth.")
+        self._draining_gauge = reg.gauge(
+            "repro_serve_draining", "1 while the daemon is draining.")
+        self._uptime = reg.gauge(
+            "repro_serve_uptime_seconds",
+            "Seconds since the daemon started (set at scrape time).")
+        self._latency_hist = reg.histogram(
+            "repro_serve_latency_seconds",
+            "Request latency (admission to response), by verb.",
+            labels=("verb",))
+        self._queue_wait_hist = reg.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Worker-pool submission-to-execution wait.")
 
     # ------------------------------------------------------------------
     # Updates
@@ -73,49 +134,44 @@ class ServeTelemetry:
     def enter_queue(self) -> None:
         """A request was submitted to the worker pool."""
         with self._lock:
-            self._queue_depth += 1
-            self._peak_queue_depth = max(self._peak_queue_depth,
-                                         self._queue_depth)
+            self._queue_depth.inc()
+            depth = self._queue_depth.value()
+            if depth > self._peak_queue_depth.value():
+                self._peak_queue_depth.set(depth)
 
     def exit_queue(self) -> None:
         """A submitted request finished executing."""
-        with self._lock:
-            self._queue_depth -= 1
+        self._queue_depth.dec()
 
     def count_protocol_error(self) -> None:
         """A request line never reached a handler (bad JSON/verb/framing)."""
-        with self._lock:
-            self._protocol_errors += 1
+        self._protocol_errors.inc()
 
     def count_shed(self) -> None:
         """A request was refused at admission (queue full, ``overloaded``)."""
-        with self._lock:
-            self._shed += 1
+        self._shed.inc()
 
     def count_deadline_timeout(self) -> None:
         """A request's ``deadline_ms`` budget expired before its response."""
-        with self._lock:
-            self._deadline_timeouts += 1
+        self._deadline_timeouts.inc()
 
     def count_draining_rejection(self) -> None:
         """A command request was refused because the daemon is draining."""
-        with self._lock:
-            self._draining_rejections += 1
+        self._draining_rejections.inc()
 
     def count_write_timeout(self) -> None:
         """A stalled client's response write timed out (connection dropped)."""
-        with self._lock:
-            self._write_timeouts += 1
+        self._write_timeouts.inc()
 
     def mark_draining(self) -> None:
         """The daemon entered its drain lifecycle (one-way)."""
-        with self._lock:
-            self._draining = True
+        self._draining_gauge.set(1)
 
     def observe_queue_wait(self, waited_s: float) -> None:
         """Record one request's pool submission-to-execution wait."""
         with self._lock:
             self._queue_waits_ms.append(waited_s * 1000.0)
+        self._queue_wait_hist.observe(waited_s)
 
     def uptime_s(self) -> float:
         """Seconds since this daemon's telemetry began (daemon start)."""
@@ -132,59 +188,65 @@ class ServeTelemetry:
         """Record one completed request (including coalesced joiners —
         each client-visible response counts once)."""
         with self._lock:
-            self._total += 1
-            self._by_verb[verb] = self._by_verb.get(verb, 0) + 1
-            if exit_code != 0:
-                self._errors += 1
             self._latencies_ms.append(elapsed_s * 1000.0)
+            ring = self._latencies_by_verb.get(verb)
+            if ring is None:
+                ring = deque(maxlen=self._latency_window)
+                self._latencies_by_verb[verb] = ring
+            ring.append(elapsed_s * 1000.0)
+        self._requests.inc(verb=verb)
+        if exit_code != 0:
+            self._errors.inc()
+        self._latency_hist.observe(elapsed_s, verb=verb)
 
     # ------------------------------------------------------------------
-    # Snapshot
+    # Snapshot / exposition
     # ------------------------------------------------------------------
     def snapshot(self,
                  coalesce: Optional[Dict[str, int]] = None,
                  artifact_store: Optional[Dict[str, int]] = None,
                  server: Optional[dict] = None) -> dict:
-        """One JSON-safe ``stats`` payload.
+        """One JSON-safe ``stats`` payload (shape pinned by the tests).
 
-        ``coalesce`` and ``artifact_store`` are the coalescer's and the
-        shared store's counter dictionaries; ``cache_hit_rate`` is derived
-        from the store (stage reuses / stage lookups).  ``server`` carries
-        static daemon facts (address, pool size) merged in verbatim.
+        Assembled from the registry counters plus the exact percentile
+        rings.  ``coalesce`` and ``artifact_store`` are the coalescer's
+        and the shared store's counter dictionaries; ``cache_hit_rate``
+        is derived from the store (stage reuses / stage lookups).
+        ``server`` carries static daemon facts (address, pool size)
+        merged in verbatim.
         """
+        by_verb = {labels[0]: int(value)
+                   for labels, value in self._requests.samples()}
         with self._lock:
             window = sorted(self._latencies_ms)
             waits = sorted(self._queue_waits_ms)
-            payload = {
-                "queue_depth": self._queue_depth,
-                "peak_queue_depth": self._peak_queue_depth,
-                "requests": {
-                    "total": self._total,
-                    "by_verb": dict(sorted(self._by_verb.items())),
-                    "errors": self._errors,
-                    "protocol_errors": self._protocol_errors,
-                },
-                "latency_ms": {
-                    "count": len(window),
-                    "p50": round(percentile_nearest_rank(window, 0.50), 3),
-                    "p99": round(percentile_nearest_rank(window, 0.99), 3),
-                    "max": round(window[-1], 3) if window else 0.0,
-                },
-                "queue_wait_ms": {
-                    "count": len(waits),
-                    "p50": round(percentile_nearest_rank(waits, 0.50), 3),
-                    "p99": round(percentile_nearest_rank(waits, 0.99), 3),
-                    "max": round(waits[-1], 3) if waits else 0.0,
-                },
-                "resilience": {
-                    "shed": self._shed,
-                    "deadline_timeouts": self._deadline_timeouts,
-                    "draining_rejections": self._draining_rejections,
-                    "write_timeouts": self._write_timeouts,
-                    "draining": self._draining,
-                },
-                "uptime_s": round(time.monotonic() - self._started, 3),
-            }
+            by_verb_windows = {verb: sorted(ring) for verb, ring
+                               in self._latencies_by_verb.items()}
+        payload = {
+            "queue_depth": int(self._queue_depth.value()),
+            "peak_queue_depth": int(self._peak_queue_depth.value()),
+            "requests": {
+                "total": sum(by_verb.values()),
+                "by_verb": dict(sorted(by_verb.items())),
+                "errors": int(self._errors.value()),
+                "protocol_errors": int(self._protocol_errors.value()),
+            },
+            "latency_ms": _window_stats(window),
+            "latency_by_verb_ms": {
+                verb: _window_stats(by_verb_windows[verb])
+                for verb in sorted(by_verb_windows)
+            },
+            "queue_wait_ms": _window_stats(waits),
+            "resilience": {
+                "shed": int(self._shed.value()),
+                "deadline_timeouts": int(self._deadline_timeouts.value()),
+                "draining_rejections": int(
+                    self._draining_rejections.value()),
+                "write_timeouts": int(self._write_timeouts.value()),
+                "draining": self._draining_gauge.value() == 1,
+            },
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
         if coalesce is not None:
             payload["coalesce"] = dict(coalesce)
         if artifact_store is not None:
@@ -196,3 +258,29 @@ class ServeTelemetry:
         if server is not None:
             payload["server"] = dict(server)
         return payload
+
+    def exposition(self,
+                   coalesce: Optional[Dict[str, int]] = None,
+                   artifact_store: Optional[Dict[str, int]] = None) -> str:
+        """The registry in Prometheus text format (the ``metrics`` verb).
+
+        Scrape-time state — uptime, the coalescer counters and the
+        shared store's hit/miss/entry counters — is folded into gauges
+        just before rendering, so one scrape is one consistent page.
+        """
+        self._uptime.set(round(time.monotonic() - self._started, 3))
+        if coalesce:
+            gauge = self.registry.gauge(
+                "repro_serve_coalesce", "Request-coalescer counters.",
+                labels=("event",))
+            for event, value in coalesce.items():
+                if isinstance(value, (int, float)):
+                    gauge.set(value, event=str(event))
+        if artifact_store:
+            gauge = self.registry.gauge(
+                "repro_serve_artifact_store",
+                "Shared artifact-store counters.", labels=("counter",))
+            for counter, value in artifact_store.items():
+                if isinstance(value, (int, float)):
+                    gauge.set(value, counter=str(counter))
+        return self.registry.render()

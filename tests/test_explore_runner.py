@@ -1,5 +1,7 @@
 """Integration tests for the batch sweep runner (repro.explore.runner)."""
 
+import re
+
 import pytest
 
 from repro.explore import (
@@ -124,7 +126,15 @@ class TestRunSweep:
     def test_run_progress_lines_count_misses(self, two_point_sweep):
         lines = []
         run_sweep(two_point_sweep, workers=1, progress=lines.append)
-        assert lines == ["[run 1/2] w12", "[run 2/2] w14"]
+        # "[run i/N] label (elapsed Xs, eta ~Ys)" — timing varies, the
+        # prefix and the shape of the timing suffix do not.
+        pattern = re.compile(
+            r"^\[run (\d)/2\] (w1[24]) "
+            r"\(elapsed \d+\.\ds, eta ~\d+\.\ds\)$")
+        matches = [pattern.match(line) for line in lines]
+        assert all(matches)
+        assert [(m.group(1), m.group(2)) for m in matches] == [
+            ("1", "w12"), ("2", "w14")]
 
     def test_unknown_library_rejected_before_running(self, two_point_sweep):
         with pytest.raises(ValueError, match="unknown standard-cell library"):

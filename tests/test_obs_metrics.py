@@ -1,0 +1,263 @@
+"""The metrics registry and the rebased serve telemetry.
+
+Covers the counter/gauge/histogram semantics, the deterministic
+Prometheus text exposition and its round-trip through the minimal
+parser (including a hypothesis property over hostile label values), and
+the :class:`~repro.serve.telemetry.ServeTelemetry` rebase — the pinned
+``stats`` snapshot shape, the per-verb latency breakdown and the
+scrape-time exposition.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.serve.telemetry import ServeTelemetry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = MetricsRegistry().counter("c_total", "help",
+                                            labels=("verb",))
+        counter.inc(verb="design")
+        counter.inc(3, verb="sweep")
+        assert counter.value(verb="design") == 1
+        assert counter.value(verb="sweep") == 3
+        assert counter.samples() == [(("design",), 1.0), (("sweep",), 3.0)]
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "help",
+                                            labels=("verb",))
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc(wrong="x")
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value() == pytest.approx(7.0)
+
+    def test_gauge_may_go_negative(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.dec(2)
+        assert gauge.value() == -2.0
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self):
+        hist = MetricsRegistry().histogram("h", "help",
+                                           buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        count, total = hist.child_stats()
+        assert count == 4
+        assert total == pytest.approx(55.55)
+        # Bucket counts are cumulative: <=0.1 sees 1, <=1.0 sees 2, ...
+        assert hist._bucket_counts[()] == [1, 2, 3]
+
+    def test_default_buckets_are_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+    def test_labelled_children(self):
+        hist = MetricsRegistry().histogram("h", "help", labels=("verb",))
+        hist.observe(0.2, verb="design")
+        hist.observe(0.3, verb="design")
+        assert hist.child_stats(verb="design") == (2, pytest.approx(0.5))
+        assert hist.child_stats(verb="sweep") == (0, 0.0)
+
+
+class TestRegistry:
+    def test_declare_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help", labels=("verb",))
+        again = registry.counter("c_total", "help", labels=("verb",))
+        assert first is again
+
+    def test_redeclare_with_different_shape_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help")
+        with pytest.raises(ValueError, match="already declared"):
+            registry.gauge("m", "help")
+        with pytest.raises(ValueError, match="already declared"):
+            registry.counter("m", "help", labels=("verb",))
+
+    def test_get_and_names(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("b_total", "help")
+        registry.gauge("a", "help")
+        assert registry.names() == ["a", "b_total"]
+        assert registry.get("b_total") is counter
+        assert registry.get("missing") is None
+
+
+class TestExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests.", labels=("verb",))\
+            .inc(3, verb="design")
+        registry.gauge("depth", "Queue depth.").set(2)
+        hist = registry.histogram("lat_seconds", "Latency.",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        return registry
+
+    def test_render_is_deterministic(self):
+        assert self._registry().render() == self._registry().render()
+
+    def test_render_shape(self):
+        text = self._registry().render()
+        assert "# HELP req_total Requests." in text
+        assert "# TYPE req_total counter" in text
+        assert '\nreq_total{verb="design"} 3\n' in text
+        assert "\ndepth 2\n" in text
+        assert '\nlat_seconds_bucket{le="+Inf"} 2\n' in text
+        assert "\nlat_seconds_count 2\n" in text
+        assert text.endswith("\n")
+
+    def test_parse_round_trip(self):
+        parsed = parse_exposition(self._registry().render())
+        assert parsed[("req_total", (("verb", "design"),))] == 3.0
+        assert parsed[("depth", ())] == 2.0
+        assert parsed[("lat_seconds_bucket", (("le", "0.1"),))] == 1.0
+        assert parsed[("lat_seconds_bucket", (("le", "+Inf"),))] == 2.0
+        assert parsed[("lat_seconds_sum", ())] == pytest.approx(0.55)
+
+    @given(st.dictionaries(
+        st.text(alphabet=st.characters(
+            codec="ascii", categories=("L", "N")), min_size=1, max_size=8),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1, max_size=6),
+        st.sampled_from(['plain', 'quo"te', 'back\\slash', 'new\nline',
+                         'mix\\"ed\n']))
+    @settings(max_examples=80, deadline=None)
+    def test_exposition_round_trips_hostile_labels(self, values, suffix):
+        """render -> parse is lossless for any label value the renderer
+        can produce (quotes, backslashes and newlines escape)."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "help", labels=("key",))
+        for key, value in values.items():
+            gauge.set(value, key=key + suffix)
+        parsed = parse_exposition(registry.render())
+        assert len(parsed) == len(values)
+        for key, value in values.items():
+            assert parsed[("g", (("key", key + suffix),))] \
+                == pytest.approx(value, rel=1e-6, abs=1e-30)
+
+
+class TestServeTelemetry:
+    def test_snapshot_pins_the_stats_shape(self):
+        telemetry = ServeTelemetry()
+        telemetry.observe("design", 0, 0.010)
+        telemetry.observe("design", 0, 0.030)
+        telemetry.observe("sweep", 1, 0.100)
+        snapshot = telemetry.snapshot()
+        assert set(snapshot) == {
+            "queue_depth", "peak_queue_depth", "requests", "latency_ms",
+            "latency_by_verb_ms", "queue_wait_ms", "resilience",
+            "uptime_s"}
+        requests = snapshot["requests"]
+        assert requests["total"] == 3
+        assert requests["by_verb"] == {"design": 2, "sweep": 1}
+        assert requests["errors"] == 1
+        assert requests["protocol_errors"] == 0
+        assert snapshot["latency_ms"]["count"] == 3
+        assert snapshot["latency_ms"]["max"] == pytest.approx(100.0)
+
+    def test_per_verb_latency_breakdown(self):
+        telemetry = ServeTelemetry()
+        for elapsed in (0.010, 0.020, 0.030):
+            telemetry.observe("design", 0, elapsed)
+        telemetry.observe("ping", 0, 0.001)
+        by_verb = telemetry.snapshot()["latency_by_verb_ms"]
+        assert sorted(by_verb) == ["design", "ping"]
+        design = by_verb["design"]
+        assert set(design) == {"count", "p50", "p99", "max"}
+        assert design["count"] == 3
+        assert design["p50"] == pytest.approx(20.0)
+        assert design["max"] == pytest.approx(30.0)
+        assert by_verb["ping"]["count"] == 1
+
+    def test_queue_depth_and_peak(self):
+        telemetry = ServeTelemetry()
+        telemetry.enter_queue()
+        telemetry.enter_queue()
+        telemetry.exit_queue()
+        snapshot = telemetry.snapshot()
+        assert snapshot["queue_depth"] == 1
+        assert snapshot["peak_queue_depth"] == 2
+
+    def test_resilience_counters(self):
+        telemetry = ServeTelemetry()
+        telemetry.count_shed()
+        telemetry.count_deadline_timeout()
+        telemetry.count_draining_rejection()
+        telemetry.count_write_timeout()
+        telemetry.mark_draining()
+        resilience = telemetry.snapshot()["resilience"]
+        assert resilience == {"shed": 1, "deadline_timeouts": 1,
+                              "draining_rejections": 1,
+                              "write_timeouts": 1, "draining": True}
+
+    def test_coalesce_and_store_blocks_merge_in(self):
+        telemetry = ServeTelemetry()
+        snapshot = telemetry.snapshot(
+            coalesce={"executed": 2, "coalesced": 1},
+            artifact_store={"hits": 3, "misses": 1})
+        assert snapshot["coalesce"] == {"executed": 2, "coalesced": 1}
+        assert snapshot["cache_hit_rate"] == pytest.approx(0.75)
+
+    def test_exposition_scrapes_registry_and_context(self):
+        telemetry = ServeTelemetry()
+        telemetry.observe("design", 0, 0.010)
+        parsed = parse_exposition(telemetry.exposition(
+            coalesce={"executed": 4},
+            artifact_store={"hits": 7, "max_entries": None}))
+        assert parsed[("repro_serve_requests_total",
+                       (("verb", "design"),))] == 1.0
+        assert parsed[("repro_serve_coalesce",
+                       (("event", "executed"),))] == 4.0
+        assert parsed[("repro_serve_artifact_store",
+                       (("counter", "hits"),))] == 7.0
+        # Non-numeric context values are skipped, not rendered as NaN.
+        assert ("repro_serve_artifact_store",
+                (("counter", "max_entries"),)) not in parsed
+        assert parsed[("repro_serve_uptime_seconds", ())] >= 0.0
+
+    def test_recent_p50_feeds_retry_hint(self):
+        telemetry = ServeTelemetry()
+        assert telemetry.recent_p50_ms() == 0.0
+        for elapsed in (0.010, 0.020, 0.030):
+            telemetry.observe("design", 0, elapsed)
+        assert telemetry.recent_p50_ms() == pytest.approx(20.0)
+
+    def test_latency_window_is_bounded(self):
+        telemetry = ServeTelemetry(latency_window=4)
+        for index in range(10):
+            telemetry.observe("design", 0, 0.001 * (index + 1))
+        snapshot = telemetry.snapshot()
+        assert snapshot["latency_ms"]["count"] == 4
+        assert snapshot["latency_by_verb_ms"]["design"]["count"] == 4
+        # The registry counter keeps the lifetime total.
+        assert snapshot["requests"]["total"] == 10

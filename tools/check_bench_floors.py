@@ -57,6 +57,14 @@ FLOORS = {
         ("perturbed SNR population stays physical (40-100 dB)",
          lambda r: 40.0 <= r["snr_min_db"] <= r["snr_max_db"] <= 100.0),
     ],
+    "obs_overhead": [
+        ("instrumented flow emits spans when traced",
+         lambda r: r["spans_per_flow"] > 0),
+        ("disabled span call costs under 10 microseconds",
+         lambda r: r["per_span_ns_disabled"] <= 10_000.0),
+        ("projected disabled-tracing overhead stays within 2%",
+         lambda r: r["overhead_pct"] <= 2.0),
+    ],
     "serve_throughput": [
         ("served responses are byte-identical (cold, hot, across clients)",
          lambda r: r["responses_identical"] is True),
